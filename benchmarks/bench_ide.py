@@ -1,0 +1,67 @@
+"""Figure IV: the IDE.
+
+The figure is a screenshot of the editor (syntax highlighting), console
+pane, and run support; the flagship in-progress feature is per-thread
+stepping.  This module regenerates each capability headlessly and times the
+interactive-path operations an IDE must keep fast (highlight-on-keystroke,
+run-to-console, debugger stepping).
+"""
+
+import pytest
+
+from repro.ide.debugger import DebugSession
+from repro.ide.highlight import Style, highlight
+from repro.ide.session import IDESession
+from repro.programs import FIGURE_2_PARALLEL_SUM, FIGURE_3_PARALLEL_MAX
+from conftest import format_table
+
+
+def test_ide_capabilities(benchmark, report):
+    session = IDESession(FIGURE_3_PARALLEL_MAX)
+    benchmark.pedantic(session.highlight_spans, rounds=1, iterations=1)
+    spans = session.highlight_spans()
+    styled = {s.style for s in spans}
+    output = session.run()
+    dbg = session.debug()
+    first = dbg.threads()
+    dbg.continue_all()
+    rows = [
+        ["syntax highlighting", f"{len(spans)} spans, "
+         f"parallel keywords styled: "
+         f"{Style.PARALLEL_KEYWORD in styled}"],
+        ["console run", f"output {output.strip()!r}"],
+        ["debugger", f"paused at line {first[0].line}, "
+         f"then ran to completion: {dbg.finished}"],
+    ]
+    report.emit("Figure IV — IDE capabilities (headless)", [
+        *format_table(["capability", "measured"], rows),
+        "paper: editor + highlighting + console + run shipping; per-thread "
+        "stepping in progress.  Here all four are implemented and tested.",
+    ])
+    assert Style.PARALLEL_KEYWORD in styled
+    assert output.strip() == "96"
+    assert dbg.finished and dbg.error is None
+
+
+def test_highlight_latency(benchmark):
+    # Highlighting runs on every keystroke in an editor; it must be cheap.
+    benchmark(lambda: highlight(FIGURE_2_PARALLEL_SUM * 10))
+
+
+def test_run_to_console_latency(benchmark):
+    session = IDESession(FIGURE_2_PARALLEL_SUM)
+    benchmark.pedantic(session.run, rounds=5, iterations=1)
+
+
+def test_debugger_step_latency(benchmark):
+    """Single-step cost: the interactive operation of the per-thread views."""
+
+    def step_through():
+        dbg = DebugSession("def main():\n    x = 0\n" + "    x = x + 1\n" * 20)
+        dbg.start()
+        tid = dbg.threads()[0].id
+        for _ in range(20):
+            dbg.step(tid)
+        dbg.stop()
+
+    benchmark.pedantic(step_through, rounds=3, iterations=1)

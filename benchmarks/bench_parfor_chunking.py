@@ -1,0 +1,117 @@
+"""Ablation: ``parallel for`` iteration assignment (block vs cyclic).
+
+Neither policy dominates — the winner depends on how iteration cost varies
+across the index space, and this ablation shows both directions:
+
+* **Triangular workload** (cost grows smoothly with the index): block
+  chunking concentrates the expensive tail in the last worker; cyclic
+  deals it out evenly and wins.
+* **Trial-division primes**: cost correlates with *parity* (even candidates
+  exit immediately), and a cyclic stride of 8 aliases with parity — the
+  even-offset workers get only cheap composites while odd-offset workers
+  get every expensive prime.  Block chunks mix parities and win.
+
+A lesson the paper's classroom setting would care about: data-dependent
+iteration costs interact with the assignment stride.
+"""
+
+import textwrap
+
+import pytest
+
+from conftest import format_table
+from workloads import primes_source, record_trace
+
+PRIMES_LIMIT = 1200
+
+TRIANGULAR = textwrap.dedent("""
+    def weigh(n int) int:
+        t = 0
+        j = 0
+        while j < n:
+            t += j
+            j += 1
+        return t
+
+    def main():
+        results = array(97, 0)
+        parallel for i in [1 ... 96]:
+            results[i] = weigh(i)
+        print(sum(results))
+""")
+
+
+def spread_and_speedup(backend):
+    workers = [t for t in backend.trace.walk() if t is not backend.trace]
+    works = sorted(t.total_work for t in workers)
+    curve = backend.speedups([8])
+    return (works[-1] / max(1, works[0]),
+            curve[8].speedup_against(curve[1]),
+            round(curve[8].makespan))
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        ("primes", "block"): record_trace(primes_source(PRIMES_LIMIT),
+                                          cores=8, chunking="block"),
+        ("primes", "cyclic"): record_trace(primes_source(PRIMES_LIMIT),
+                                           cores=8, chunking="cyclic"),
+        ("triangular", "block"): record_trace(TRIANGULAR, cores=8,
+                                              chunking="block"),
+        ("triangular", "cyclic"): record_trace(TRIANGULAR, cores=8,
+                                               chunking="cyclic"),
+    }
+
+
+def test_chunking_correctness(benchmark, traces):
+    from repro.api import run_source
+    from repro.runtime import RuntimeConfig
+
+    def collect():
+        results = []
+        for src in (primes_source(PRIMES_LIMIT), TRIANGULAR):
+            outs = {
+                run_source(src, backend="sequential",
+                           config=RuntimeConfig(chunking=c)).output
+                for c in ("block", "cyclic")
+            }
+            assert len(outs) == 1, "chunking changed the answer"
+            results.append(outs.pop())
+        return results
+
+    benchmark.pedantic(collect, rounds=1, iterations=1)
+
+
+def test_chunking_ablation(benchmark, traces, report):
+    benchmark(lambda: traces[("primes", "cyclic")].schedule(8))
+    rows = []
+    stats = {}
+    for (workload, chunking), backend in traces.items():
+        spread, s8, makespan = spread_and_speedup(backend)
+        stats[(workload, chunking)] = (spread, s8)
+        rows.append([workload, chunking, round(spread, 2), makespan,
+                     round(s8, 2)])
+    report.emit("Ablation: parallel-for chunking vs workload structure (8 cores)", [
+        *format_table(
+            ["workload", "chunking", "work max/min", "virtual time",
+             "speedup"], rows,
+        ),
+        "triangular cost ramps with the index -> cyclic balances it;",
+        "trial division costs alias with parity -> a cyclic stride of 8 "
+        "sends all cheap even candidates to the same workers and loses.",
+    ])
+    # Opposite winners on the two workloads.
+    assert stats[("triangular", "cyclic")][1] > stats[("triangular", "block")][1]
+    assert stats[("primes", "block")][1] > stats[("primes", "cyclic")][1]
+    # And the speedup gap is explained by the balance gap.
+    assert stats[("triangular", "cyclic")][0] < stats[("triangular", "block")][0]
+    assert stats[("primes", "block")][0] < stats[("primes", "cyclic")][0]
+
+
+def test_recording_cost_cyclic(benchmark):
+    benchmark.pedantic(
+        lambda: record_trace(primes_source(PRIMES_LIMIT), cores=8,
+                             chunking="cyclic"),
+        rounds=3, iterations=1,
+    )

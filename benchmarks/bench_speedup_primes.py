@@ -1,0 +1,87 @@
+"""§IV evaluation, primes workload: "one which calculates the first million
+primes ... achieves approximately 5X speedup when run on 8 cores which is a
+62.5% efficiency rate."
+
+Regenerated here on the virtual-time machine model (DESIGN.md §2/§4): the
+same Tetra program runs through the same interpreter; the recorded task
+graph is scheduled on 1/2/4/8 model cores and speedup/efficiency reported
+against the 1-core run.  Problem size is scaled down (see
+benchmarks/workloads.py); the shape — near-linear at 2 cores, ≈5× at 8,
+efficiency around 60% — is the reproduced claim.
+"""
+
+import pytest
+
+from repro.programs import PRIME_COUNTS
+from conftest import format_table
+from workloads import (
+    CORE_COUNTS,
+    PRIMES_LIMIT,
+    primes_source,
+    record_trace,
+    speedup_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def primes_backend():
+    return record_trace(primes_source(), cores=8)
+
+
+def test_primes_output_is_correct(benchmark, primes_backend):
+    # 1500 is not in the PRIME_COUNTS table; verify against a local sieve.
+    limit = PRIMES_LIMIT
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0:2] = b"\x00\x00"
+    for p in range(2, int(limit ** 0.5) + 1):
+        if sieve[p]:
+            sieve[p * p:: p] = b"\x00" * len(sieve[p * p:: p])
+    expected = sum(sieve)
+    # The recorder was already run by the fixture; re-run quickly for output.
+    from repro.api import run_source
+
+    result = benchmark.pedantic(
+        lambda: run_source(primes_source(), backend="sequential"),
+        rounds=1, iterations=1,
+    )
+    assert result.output_lines() == [str(expected)]
+
+
+def test_primes_speedup_table(benchmark, primes_backend, report):
+    rows = benchmark(lambda: speedup_rows(primes_backend))
+    table = format_table(
+        ["cores", "virtual time", "speedup", "efficiency %"],
+        [list(r) for r in rows],
+    )
+    by_cores = {r[0]: r for r in rows}
+    s8, e8 = by_cores[8][2], by_cores[8][3]
+    report.emit("§IV primes speedup (paper: ~5x on 8 cores, 62.5% efficiency)", [
+        *table,
+        f"paper:    8 cores -> ~5.0x speedup, 62.5% efficiency",
+        f"measured: 8 cores -> {s8}x speedup, {e8}% efficiency",
+        f"workload: primes up to {PRIMES_LIMIT} "
+        "(scaled from 'first million primes'; see EXPERIMENTS.md)",
+    ])
+    # Shape assertions: monotone scaling, ~5x at 8 cores, efficiency drop.
+    speedups = [r[2] for r in rows]
+    assert speedups == sorted(speedups)
+    assert 3.5 < s8 < 6.5
+    assert 45.0 < e8 < 80.0
+
+
+def test_primes_scheduling_cost(benchmark, primes_backend):
+    """Time the machine-model scheduling itself (not the workload)."""
+    benchmark(lambda: primes_backend.schedule(8))
+
+
+def test_primes_trace_shape(benchmark, primes_backend, report):
+    trace = primes_backend.trace
+    benchmark(trace.critical_path)
+    report.emit("primes trace statistics", [
+        f"tasks: {trace.task_count()} (1 main + 8 parallel-for workers)",
+        f"total work: {trace.subtree_work()} units",
+        f"critical path: {trace.critical_path()} units",
+        f"max parallelism: {trace.max_parallelism()}",
+    ])
+    assert trace.task_count() == 9
+    assert trace.max_parallelism() == 8

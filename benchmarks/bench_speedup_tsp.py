@@ -1,0 +1,81 @@
+"""§IV evaluation, TSP workload: "one which solves an instance of the
+travelling salesman problem.  Each of these programs achieves approximately
+5X speedup when run on 8 cores."
+
+The TSP fan-out is inherently *imbalanced* (branch-and-bound subtree sizes
+differ per first hop), so its efficiency sits below the embarrassingly
+parallel ideal — the same qualitative behaviour the paper's single summary
+number averages over.
+"""
+
+import pytest
+
+from conftest import format_table
+from workloads import TSP_CITIES, record_trace, speedup_rows, tsp_source
+
+
+@pytest.fixture(scope="module")
+def tsp_backend():
+    # n-1 = 6 first hops over up to 8 workers.
+    return record_trace(tsp_source(), cores=8)
+
+
+def test_tsp_output_matches_bruteforce(benchmark, tsp_backend):
+    from itertools import permutations
+
+    from repro.api import run_source
+
+    def dist(a, b):
+        lo, hi = min(a, b), max(a, b)
+        return (lo * 7 + hi * 13) % 29 + 1
+
+    n = TSP_CITIES
+    best = min(
+        sum(dist(a, b) for a, b in zip((0,) + perm, perm + (0,)))
+        for perm in permutations(range(1, n))
+    )
+    result = benchmark.pedantic(
+        lambda: run_source(tsp_source(), backend="sequential"),
+        rounds=1, iterations=1,
+    )
+    assert result.output_lines() == [str(best)]
+
+
+def test_tsp_speedup_table(benchmark, tsp_backend, report):
+    rows = benchmark(lambda: speedup_rows(tsp_backend))
+    table = format_table(
+        ["cores", "virtual time", "speedup", "efficiency %"],
+        [list(r) for r in rows],
+    )
+    by_cores = {r[0]: r for r in rows}
+    s8, e8 = by_cores[8][2], by_cores[8][3]
+    report.emit("§IV TSP speedup (paper: ~5x on 8 cores)", [
+        *table,
+        "paper:    8 cores -> ~5.0x speedup",
+        f"measured: 8 cores -> {s8}x speedup, {e8}% efficiency",
+        f"workload: {TSP_CITIES} synthetic cities, parallel first-hop "
+        "fan-out (see EXPERIMENTS.md)",
+    ])
+    speedups = [r[2] for r in rows]
+    assert speedups == sorted(speedups)
+    # The fan-out is 6-wide and imbalanced: expect clearly sublinear scaling
+    # that still lands in the low-to-mid single digits, as the paper reports.
+    assert 2.0 < s8 < 6.5
+
+
+def test_tsp_imbalance_visible(benchmark, tsp_backend, report):
+    """The per-worker work spread explains the efficiency gap."""
+    trace = tsp_backend.trace
+    benchmark(lambda: [t.total_work for t in trace.walk()])
+    workers = [t for t in trace.walk() if t is not trace]
+    works = sorted(t.total_work for t in workers)
+    report.emit("TSP worker imbalance", [
+        f"workers: {len(workers)}",
+        f"work per worker (sorted): {works}",
+        f"max/min ratio: {round(works[-1] / max(1, works[0]), 2)}",
+    ])
+    assert works[-1] > works[0]  # genuinely imbalanced
+
+
+def test_tsp_scheduling_cost(benchmark, tsp_backend):
+    benchmark(lambda: tsp_backend.schedule(8))

@@ -1,0 +1,55 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper (see DESIGN.md §3).  Numbers are printed to the terminal *and*
+appended to ``benchmarks/results/report.txt`` so a
+``pytest benchmarks/ --benchmark-only | tee ...`` run leaves a complete
+record even with output capture enabled.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    # One report per session: truncate on the first benchmark module.
+    report = RESULTS_DIR / "report.txt"
+    report.write_text("")
+
+
+class Reporter:
+    """Prints a block of experiment output and archives it."""
+
+    def __init__(self, capsys):
+        self._capsys = capsys
+        self._path = RESULTS_DIR / "report.txt"
+
+    def emit(self, title: str, lines: list[str]) -> None:
+        block = "\n".join([f"== {title} ==", *lines, ""])
+        with self._capsys.disabled():
+            print("\n" + block)
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(block + "\n")
+
+
+@pytest.fixture
+def report(capsys):
+    return Reporter(capsys)
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> list[str]:
+    """Fixed-width text table (the shape the paper's §IV numbers take)."""
+    table = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    out = []
+    for i, row in enumerate(table):
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return out

@@ -1,0 +1,77 @@
+"""Drive the parallel debugger programmatically — the paper's §III feature.
+
+"The Tetra IDE will have multiple code views in debug mode: one for each
+thread of the currently running program... step through the different
+threads independently."  This script does exactly that, headlessly:
+it steps one parallel thread all the way to a lock while the other is
+parked, inspects both views, then lets the program finish.
+
+Run with:  python examples/debugger_session.py
+(For the interactive version: tetra dbg examples/tetra/figure2_parallel_sum.ttr)
+"""
+
+from repro.ide import DebugSession
+
+PROGRAM = """
+def transfer(amount int):
+    lock account:
+        balance = read_balance()
+        write_balance(balance + amount)
+
+def read_balance() int:
+    return 100
+
+def write_balance(b int):
+    print("balance is now ", b)
+
+def main():
+    parallel:
+        transfer(10)
+        transfer(20)
+"""
+
+
+def show_threads(session: DebugSession) -> None:
+    for view in session.threads():
+        where = f"line {view.line}" if view.line else "not started"
+        lock = f", wants lock '{view.waiting_lock}'" if view.waiting_lock else ""
+        print(f"  [{view.id}] {view.label:40s} {view.state:28s} {where}{lock}")
+        if view.variables:
+            print(f"       variables: {view.variables}")
+
+
+def main() -> None:
+    session = DebugSession(PROGRAM)
+    session.start()
+    print("program paused before its first statement:")
+    show_threads(session)
+
+    main_id = session.threads()[0].id
+    print("\nstep main once: the parallel block spawns two threads...")
+    session.step(main_id)
+    show_threads(session)
+
+    t1, t2 = [v.id for v in session.threads() if "parallel" in v.label]
+
+    print(f"\nrun thread {t1} independently until it blocks or finishes...")
+    view = session.run_thread(t1)
+    print(f"  -> {view.label}: {view.state}")
+
+    print(f"\nnow step thread {t2}: it will hit the 'account' lock")
+    view = session.run_thread(t2)
+    show_threads(session)
+
+    print("\nevaluate expressions inside a paused thread's scope:")
+    for tid in (t1, t2):
+        record = session.thread(tid)
+        if record.is_paused:
+            print(f"  thread {tid}: amount = {session.evaluate(tid, 'amount')}")
+
+    print("\nlet everything finish:")
+    session.continue_all()
+    print(session.output, end="")
+    print(f"finished: {session.finished}, error: {session.error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — Tetra: An Educational Parallel Programming System.
+
+A complete Python reimplementation of the language, runtime, tooling, and
+evaluation of "Introducing Tetra: An Educational Parallel Programming
+System" (IPPS 2015).  See README.md for a tour and DESIGN.md for the system
+inventory.
+
+Quick start::
+
+    from repro import run_source
+    print(run_source('''
+    def main():
+        parallel:
+            print("left")
+            print("right")
+    ''').output)
+"""
+
+from .api import (
+    BACKEND_FACTORIES,
+    RunResult,
+    check_source,
+    compile_source,
+    run_file,
+    run_source,
+)
+from .errors import (
+    TetraDeadlockError,
+    TetraError,
+    TetraRuntimeError,
+    TetraSyntaxError,
+    TetraTypeError,
+)
+from .parser import parse_source
+from .source import SourceFile
+from .interp import Interpreter
+from .runtime import (
+    CoopBackend,
+    CostModel,
+    RuntimeConfig,
+    SequentialBackend,
+    SimBackend,
+    ThreadBackend,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BACKEND_FACTORIES", "RunResult", "check_source", "compile_source",
+    "run_file", "run_source",
+    "TetraDeadlockError", "TetraError", "TetraRuntimeError",
+    "TetraSyntaxError", "TetraTypeError",
+    "parse_source", "SourceFile", "Interpreter",
+    "CoopBackend", "CostModel", "RuntimeConfig", "SequentialBackend",
+    "SimBackend", "ThreadBackend",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""High-level convenience API — the functions most users call.
+
+>>> from repro import run_source
+>>> result = run_source('''
+... def main():
+...     print("hello from tetra")
+... ''')
+>>> result.output
+'hello from tetra\\n'
+
+Every function here composes the pipeline (lex → parse → check → interpret)
+with sensible defaults; the underlying pieces stay importable for tools that
+need finer control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import TetraError
+from .parser import parse_source
+from .source import SourceFile
+from .tetra_ast import Program
+from .types import ProgramSymbols, check_program, collect_diagnostics
+from .interp import Interpreter
+from .runtime import Backend, RuntimeConfig, SequentialBackend, SimBackend, ThreadBackend
+from .runtime.coop import CoopBackend, RandomPolicy, RoundRobinPolicy, ScriptPolicy
+from .stdlib.io import CapturingIO
+
+#: Backend factories selectable by name in :func:`run_source`.
+BACKEND_FACTORIES = {
+    "thread": ThreadBackend,
+    "sequential": SequentialBackend,
+    "coop": CoopBackend,
+    "sim": SimBackend,
+}
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced."""
+
+    program: Program
+    backend: Backend
+    io: CapturingIO
+    symbols: ProgramSymbols
+
+    @property
+    def output(self) -> str:
+        return self.io.output
+
+    def output_lines(self) -> list[str]:
+        return self.io.lines()
+
+
+def compile_source(text: str, name: str = "<string>") -> tuple[Program, SourceFile]:
+    """Parse and type-check; returns the checked program and its source."""
+    source = SourceFile.from_string(text, name)
+    program = parse_source(source)
+    check_program(program, source)
+    return program, source
+
+
+def check_source(text: str, name: str = "<string>") -> list[TetraError]:
+    """All static diagnostics for a piece of source (empty list = clean)."""
+    source = SourceFile.from_string(text, name)
+    try:
+        program = parse_source(source)
+    except TetraError as exc:
+        return [exc]
+    return list(collect_diagnostics(program, source))
+
+
+def run_source(text: str, inputs: list[str] | None = None,
+               backend: str | Backend = "thread",
+               config: RuntimeConfig | None = None,
+               name: str = "<string>", entry: str = "main") -> RunResult:
+    """Compile and run Tetra source, capturing console output.
+
+    ``backend`` is a name from :data:`BACKEND_FACTORIES` or a ready-made
+    backend instance (e.g. a ``SimBackend(cores=8)`` whose trace you want).
+    """
+    program, source = compile_source(text, name)
+    if isinstance(backend, str):
+        try:
+            factory = BACKEND_FACTORIES[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; pick one of "
+                f"{sorted(BACKEND_FACTORIES)}"
+            ) from None
+        backend_obj = factory() if config is None else _construct(factory, config)
+    else:
+        backend_obj = backend
+    io = CapturingIO(inputs or [])
+    interp = Interpreter(program, source, backend=backend_obj, io=io,
+                         config=config)
+    interp.run(entry)
+    return RunResult(program, backend_obj, io, program.symbols)  # type: ignore[attr-defined]
+
+
+def _construct(factory, config: RuntimeConfig):
+    """Backends take ``config`` at different positions; pass by keyword."""
+    return factory(config=config)
+
+
+def run_file(path: str, inputs: list[str] | None = None,
+             backend: str | Backend = "thread",
+             config: RuntimeConfig | None = None) -> RunResult:
+    """Compile and run a ``.ttr`` file."""
+    source = SourceFile.from_path(path)
+    return run_source(source.text, inputs, backend, config, name=path)

@@ -1,0 +1,5 @@
+"""Tetra → Python compiler (the paper's future-work native compiler)."""
+
+from .codegen import CodeGenerator, compile_to_python, load_compiled, run_compiled
+
+__all__ = ["CodeGenerator", "compile_to_python", "load_compiled", "run_compiled"]

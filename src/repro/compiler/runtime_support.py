@@ -1,0 +1,237 @@
+"""Runtime library linked against compiled Tetra programs.
+
+The code generator (:mod:`repro.compiler.codegen`) emits Python that calls
+into this module as ``rt`` — the analogue of the C runtime the paper's
+future-work native compiler (Tetra → C + Pthreads) would link against.
+Everything semantic is *shared with the interpreter* (same builtins, same
+numeric helpers, same lock table with deadlock detection), so the two
+execution paths cannot drift apart; this module only adds the glue compiled
+code needs (thread groups, context managers, iteration helpers).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from ..errors import (
+    TetraError,
+    TetraRuntimeError,
+    TetraThreadError,
+    is_catchable,
+)
+from ..source import NO_SPAN, Span
+from ..runtime.locks import LockTable
+from ..runtime.values import (
+    TetraArray,
+    TetraDict,
+    TetraObject,
+    TetraTuple,
+    coerce_to,
+    int_div,
+    int_mod,
+    make_array,
+    real_div,
+    real_mod,
+    tetra_pow,
+)
+from ..stdlib.io import IOChannel, StandardIO
+from ..stdlib.registry import BUILTINS
+from ..types.types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    ArrayType,
+    ClassType,
+    DictType,
+    TupleType,
+)
+
+__all__ = [
+    "BOOL", "INT", "REAL", "STRING", "ArrayType", "DictType",
+    "TetraArray", "TetraDict", "TetraObject", "TetraTuple", "TupleType",
+    "ClassType", "get_attr", "set_attr",
+    "TetraRuntimeError", "is_catchable", "coerce_to",
+    "int_div", "int_mod", "real_div", "real_mod", "tetra_pow",
+    "make_array", "make_dict", "make_range",
+    "iter_value", "index_value", "store_index",
+    "call_builtin", "ProgramRuntime", "span_at",
+]
+
+
+def span_at(line: int) -> Span:
+    """A minimal span for runtime error locations in compiled code."""
+    return Span(0, 0, line, 1)
+
+
+def make_range(start: int, stop: int) -> TetraArray:
+    """Inclusive ``[start ... stop]`` range (empty when start > stop)."""
+    return TetraArray(list(range(start, stop + 1)), INT)
+
+
+def make_dict(entries, key_type, value_type) -> TetraDict:
+    """Build a dict literal, widening int values into real-valued dicts."""
+    return TetraDict(
+        {k: coerce_to(v, value_type) for k, v in entries},
+        key_type, value_type,
+    )
+
+
+def iter_value(value, line: int = 0):
+    """The items a for-loop visits (arrays, strings, dict keys)."""
+    if isinstance(value, TetraArray):
+        return list(value.items)
+    if isinstance(value, str):
+        return list(value)
+    if isinstance(value, TetraDict):
+        return value.sorted_keys()
+    raise TetraRuntimeError(
+        "for loops need an array, a string, or a dict", span_at(line)
+    )
+
+
+def index_value(base, index, line: int = 0):
+    if isinstance(base, TetraArray):
+        return base.get(index, span_at(line))
+    if isinstance(base, TetraDict):
+        return base.get(index, span_at(line))
+    if isinstance(base, TetraTuple):
+        return base.get(index, span_at(line))
+    if isinstance(base, str):
+        if not 0 <= index < len(base):
+            raise TetraRuntimeError(
+                f"index {index} is out of range for a string of length "
+                f"{len(base)}",
+                span_at(line),
+            )
+        return base[index]
+    raise TetraRuntimeError("this value cannot be indexed", span_at(line))
+
+
+def store_index(base, index, value, line: int = 0) -> None:
+    if isinstance(base, TetraArray):
+        base.set(index, coerce_to(value, base.element_type), span_at(line))
+        return
+    if isinstance(base, TetraDict):
+        base.set(index, coerce_to(value, base.value_type))
+        return
+    raise TetraRuntimeError(
+        "only array and dict elements can be assigned through an index",
+        span_at(line),
+    )
+
+
+def get_attr(obj, name: str, line: int = 0):
+    if not isinstance(obj, TetraObject):
+        raise TetraRuntimeError(
+            "only class instances have fields", span_at(line)
+        )
+    return obj.get(name, span_at(line))
+
+
+def set_attr(obj, name: str, value, line: int = 0) -> None:
+    if not isinstance(obj, TetraObject):
+        raise TetraRuntimeError(
+            "only class instances have fields", span_at(line)
+        )
+    obj.set(name, value, span_at(line))
+
+
+def call_builtin(name: str, args: list, io: IOChannel, line: int = 0):
+    return BUILTINS[name].invoke(args, io, span_at(line))
+
+
+class ProgramRuntime:
+    """Per-program state of a compiled Tetra module: console, named locks,
+    and background threads.  One instance is created per execution, so a
+    compiled module can be run many times with fresh state."""
+
+    def __init__(self, io: IOChannel | None = None,
+                 num_workers: int | None = None, chunking: str = "block"):
+        self.io = io or StandardIO()
+        self.locks = LockTable()
+        self.num_workers = num_workers
+        self.chunking = chunking
+        self._background: list[threading.Thread] = []
+        self._bg_errors: list[BaseException] = []
+        self._monitor = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run_group(self, thunks, join: bool, line: int = 0) -> None:
+        """``parallel:`` (join=True) / ``background:`` (join=False)."""
+        errors: list[BaseException] = []
+        err_lock = threading.Lock()
+
+        def runner(thunk):
+            try:
+                thunk()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with err_lock:
+                    errors.append(exc)
+                if not join:
+                    with self._monitor:
+                        self._bg_errors.append(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(t,), daemon=False)
+            for t in thunks
+        ]
+        for thread in threads:
+            thread.start()
+        if join:
+            for thread in threads:
+                thread.join()
+            if errors:
+                exc = errors[0]
+                if isinstance(exc, TetraError):
+                    raise exc
+                raise TetraThreadError(
+                    f"a parallel thread failed with {type(exc).__name__}: {exc}",
+                    span_at(line),
+                ) from exc
+        else:
+            with self._monitor:
+                self._background.extend(threads)
+
+    def run_parallel_for(self, items, worker, line: int = 0) -> None:
+        """``parallel for``: partition items, one thread per chunk."""
+        import os
+
+        if not items:
+            return
+        n = self.num_workers or os.cpu_count() or 1
+        n = max(1, min(n, len(items)))
+        if self.chunking == "cyclic":
+            chunks = [items[w::n] for w in range(n)]
+        else:
+            base, extra = divmod(len(items), n)
+            chunks, start = [], 0
+            for w in range(n):
+                size = base + (1 if w < extra else 0)
+                chunks.append(items[start:start + size])
+                start += size
+        self.run_group(
+            [lambda c=c: worker(c) for c in chunks if c], join=True, line=line
+        )
+
+    @contextmanager
+    def lock(self, name: str, line: int = 0):
+        key = threading.get_ident()
+        self.locks.acquire(name, key, span_at(line))
+        try:
+            yield
+        finally:
+            self.locks.release(name, key)
+
+    def finish(self) -> None:
+        """Join background threads; called when main() returns."""
+        while True:
+            with self._monitor:
+                if not self._background:
+                    break
+                thread = self._background.pop()
+            thread.join()
+        with self._monitor:
+            if self._bg_errors:
+                raise self._bg_errors[0]

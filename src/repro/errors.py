@@ -1,0 +1,158 @@
+"""Diagnostics for every phase of the Tetra system.
+
+All user-facing failures derive from :class:`TetraError` and know how to
+render themselves with the source line and a caret.  The hierarchy mirrors
+the pipeline: lex → parse → typecheck → run, plus the runtime conditions an
+educational parallel language must explain well (deadlock in particular).
+"""
+
+from __future__ import annotations
+
+from .source import NO_SPAN, SourceFile, Span
+
+
+class TetraError(Exception):
+    """Base class for all diagnostics raised by the Tetra system."""
+
+    #: Human-readable phase name used in rendered messages.
+    phase = "error"
+
+    def __init__(self, message: str, span: Span = NO_SPAN, source: SourceFile | None = None):
+        super().__init__(message)
+        self.message = message
+        self.span = span
+        self.source = source
+
+    def attach_source(self, source: SourceFile) -> "TetraError":
+        """Late-bind the source file (phases that only see spans use this)."""
+        if self.source is None:
+            self.source = source
+        return self
+
+    def render(self) -> str:
+        """Full compiler-style diagnostic with file, location and caret."""
+        where = ""
+        if self.source is not None:
+            where = f"{self.source.name}:"
+        if self.span is not NO_SPAN and self.span.line > 0:
+            where += f"{self.span.line}:{self.span.column}: "
+        elif where:
+            where += " "
+        lines = [f"{where}{self.phase}: {self.message}"]
+        if self.source is not None and self.span.line > 0:
+            lines.append(self.source.caret_snippet(self.span))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        if self.span is not NO_SPAN and self.span.line > 0:
+            return f"{self.message} (at {self.span})"
+        return self.message
+
+
+class TetraSyntaxError(TetraError):
+    """Raised by the lexer and parser for malformed source text."""
+
+    phase = "syntax error"
+
+
+class TetraIndentationError(TetraSyntaxError):
+    """Inconsistent or unexpected indentation (Tetra is whitespace-delimited)."""
+
+    phase = "indentation error"
+
+
+class TetraTypeError(TetraError):
+    """Raised by the static type checker."""
+
+    phase = "type error"
+
+
+class TetraNameError(TetraTypeError):
+    """Use of an undefined variable, function, or type name."""
+
+    phase = "name error"
+
+
+class TetraRuntimeError(TetraError):
+    """Raised while interpreting a program (index errors, bad reads, ...)."""
+
+    phase = "runtime error"
+
+
+class TetraIndexError(TetraRuntimeError):
+    phase = "index error"
+
+
+class TetraZeroDivisionError(TetraRuntimeError):
+    phase = "division by zero"
+
+
+class TetraIOError(TetraRuntimeError):
+    phase = "i/o error"
+
+
+class TetraAssertionError(TetraRuntimeError):
+    """Failure of the ``assert`` builtin (part of the extended stdlib)."""
+
+    phase = "assertion failure"
+
+
+class TetraDeadlockError(TetraRuntimeError):
+    """A detected deadlock: self re-entry of a non-reentrant named lock, or a
+    cycle in the lock wait-for graph.
+
+    The message names the threads and locks involved — the whole point of
+    Tetra is teaching students *why* their program froze.
+    """
+
+    phase = "deadlock"
+
+    def __init__(self, message: str, span: Span = NO_SPAN,
+                 source: SourceFile | None = None,
+                 cycle: tuple[str, ...] = ()):
+        super().__init__(message, span, source)
+        self.cycle = cycle
+
+
+class TetraThreadError(TetraRuntimeError):
+    """An error propagated out of a Tetra thread into the statement that
+    spawned it (``parallel`` blocks re-raise the first child failure)."""
+
+    phase = "thread error"
+
+
+class TetraInternalError(TetraError):
+    """A bug in the Tetra implementation itself, never the user's program."""
+
+    phase = "internal error"
+
+
+class TetraLimitError(TetraRuntimeError):
+    """A configured resource limit was exceeded (recursion depth, step budget).
+
+    Step budgets let tests and the debugger bound runaway programs.
+    """
+
+    phase = "limit exceeded"
+
+
+class TetraUserError(TetraRuntimeError):
+    """An error raised by the Tetra program itself via the ``error`` builtin."""
+
+    phase = "error"
+
+
+def is_catchable(exc: BaseException) -> bool:
+    """Can a Tetra ``try``/``catch`` handle this error?
+
+    Ordinary runtime failures (bad index, division by zero, I/O problems,
+    assertion/``error()`` calls) are catchable.  Deadlocks, thread failures,
+    and resource-limit aborts are not — they describe a broken *program
+    run*, not a recoverable condition, and letting a student swallow a
+    deadlock would defeat the diagnostic.
+    """
+    if not isinstance(exc, TetraRuntimeError):
+        return False
+    return not isinstance(
+        exc, (TetraDeadlockError, TetraThreadError, TetraLimitError)
+    )

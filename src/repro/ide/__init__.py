@@ -1,0 +1,15 @@
+"""The Tetra IDE substrate: highlighting, sessions, and the parallel
+debugger (headless equivalents of every Figure IV capability; DESIGN.md §4).
+"""
+
+from .debugger import DebugSession, FrameView, ThreadView
+from .highlight import Style, StyledSpan, highlight, render_ansi
+from .session import Diagnostic, IDESession
+from .tui import DebuggerTUI, debug_main
+
+__all__ = [
+    "DebugSession", "FrameView", "ThreadView",
+    "Style", "StyledSpan", "highlight", "render_ansi",
+    "Diagnostic", "IDESession",
+    "DebuggerTUI", "debug_main",
+]

@@ -1,0 +1,145 @@
+"""Syntax highlighting for Tetra source — the IDE feature the paper lists
+as already working ("syntax highlighting of Tetra keywords").
+
+The highlighter is a thin layer over the real lexer, so it can never
+disagree with the language (no regex approximations).  It produces styled
+*spans*; renderers turn those into ANSI escapes for the terminal (used by
+``tetra highlight`` and the TUI debugger's code view) or could target HTML.
+
+Source that fails to lex is still highlighted: the scanner runs up to the
+error, the remainder is emitted unstyled, and the error position is
+reported — an editor must keep highlighting while the user is mid-keystroke.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import TetraError
+from ..lexer import PARALLEL_KEYWORDS, TYPE_KEYWORDS, Scanner, TokenType
+from ..source import SourceFile
+
+
+class Style(enum.Enum):
+    KEYWORD = "keyword"
+    PARALLEL_KEYWORD = "parallel-keyword"   # highlighted specially: the point
+    TYPE = "type"
+    NUMBER = "number"
+    STRING = "string"
+    COMMENT = "comment"
+    FUNCTION = "function"
+    IDENT = "ident"
+    OPERATOR = "operator"
+    PLAIN = "plain"
+
+
+@dataclass(frozen=True)
+class StyledSpan:
+    """A run of characters sharing one style, by absolute offset."""
+
+    start: int
+    end: int
+    style: Style
+    text: str
+
+
+#: ANSI SGR codes per style (default terminal theme).
+ANSI_THEME: dict[Style, str] = {
+    Style.KEYWORD: "\x1b[1;34m",           # bold blue
+    Style.PARALLEL_KEYWORD: "\x1b[1;35m",  # bold magenta
+    Style.TYPE: "\x1b[36m",                # cyan
+    Style.NUMBER: "\x1b[33m",              # yellow
+    Style.STRING: "\x1b[32m",              # green
+    Style.COMMENT: "\x1b[2;37m",           # dim
+    Style.FUNCTION: "\x1b[1;37m",          # bold white
+    Style.IDENT: "",
+    Style.OPERATOR: "",
+    Style.PLAIN: "",
+}
+_RESET = "\x1b[0m"
+
+_LAYOUT = {TokenType.NEWLINE, TokenType.INDENT, TokenType.DEDENT, TokenType.EOF}
+
+
+def _comment_spans(text: str) -> list[StyledSpan]:
+    """Comments are dropped by the scanner; recover them with a scan that
+    respects string literals."""
+    spans: list[StyledSpan] = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"' or ch == "\n":
+                in_string = False
+        elif ch == '"':
+            in_string = True
+        elif ch == "#":
+            end = text.find("\n", i)
+            if end < 0:
+                end = len(text)
+            spans.append(StyledSpan(i, end, Style.COMMENT, text[i:end]))
+            i = end
+            continue
+        i += 1
+    return spans
+
+
+def highlight(text: str, name: str = "<string>") -> list[StyledSpan]:
+    """Styled spans covering every highlightable region of ``text``.
+
+    Spans are sorted by start offset and never overlap; unstyled gaps
+    (whitespace) are simply absent.
+    """
+    source = SourceFile.from_string(text, name)
+    spans = _comment_spans(text)
+    try:
+        tokens = Scanner(source).scan()
+    except TetraError:
+        tokens = []
+    for i, tok in enumerate(tokens):
+        if tok.type in _LAYOUT:
+            continue
+        if tok.type in PARALLEL_KEYWORDS:
+            style = Style.PARALLEL_KEYWORD
+        elif tok.type in TYPE_KEYWORDS:
+            style = Style.TYPE
+        elif tok.is_keyword():
+            style = Style.KEYWORD
+        elif tok.type in (TokenType.INT, TokenType.REAL):
+            style = Style.NUMBER
+        elif tok.type is TokenType.STRING:
+            style = Style.STRING
+        elif tok.type is TokenType.IDENT:
+            followed_by_paren = (
+                i + 1 < len(tokens) and tokens[i + 1].type is TokenType.LPAREN
+            )
+            style = Style.FUNCTION if followed_by_paren else Style.IDENT
+        else:
+            style = Style.OPERATOR
+        spans.append(StyledSpan(tok.span.start, tok.span.end, style, tok.text))
+    spans.sort(key=lambda s: s.start)
+    return spans
+
+
+def render_ansi(text: str, name: str = "<string>",
+                theme: dict[Style, str] = ANSI_THEME) -> str:
+    """``text`` with ANSI colour escapes applied."""
+    out: list[str] = []
+    cursor = 0
+    for span in highlight(text, name):
+        if span.start < cursor:
+            continue  # comment overlapped by nothing; defensive
+        out.append(text[cursor:span.start])
+        code = theme.get(span.style, "")
+        if code:
+            out.append(f"{code}{text[span.start:span.end]}{_RESET}")
+        else:
+            out.append(text[span.start:span.end])
+        cursor = span.end
+    out.append(text[cursor:])
+    return "".join(out)

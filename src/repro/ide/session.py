@@ -1,0 +1,103 @@
+"""The headless IDE: everything Figure IV's window does, as a library.
+
+The paper's IDE offers: editing (loading/saving), syntax highlighting of
+Tetra keywords, running programs with I/O redirected to a console pane, and
+(in progress there, complete here) the parallel debugger.  ``IDESession``
+bundles those capabilities around one buffer so a front end — the bundled
+TUI, or a GUI — only has to render state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api import check_source
+from ..errors import TetraError
+from ..stdlib.io import CapturingIO
+from .debugger import DebugSession
+from .highlight import StyledSpan, highlight, render_ansi
+
+
+@dataclass
+class Diagnostic:
+    """An editor-friendly rendering of one compile error."""
+
+    line: int
+    column: int
+    message: str
+    phase: str
+
+
+class IDESession:
+    """One open file in the IDE."""
+
+    def __init__(self, text: str = "", path: str | None = None):
+        self.path = path
+        self.text = text
+        self.console = CapturingIO()
+        self.debugger: DebugSession | None = None
+
+    # -- editing --------------------------------------------------------
+    @staticmethod
+    def open(path: str) -> "IDESession":
+        with open(path, "r", encoding="utf-8") as handle:
+            return IDESession(handle.read(), path)
+
+    def save(self, path: str | None = None) -> str:
+        target = path or self.path
+        if target is None:
+            raise ValueError("no path to save to")
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(self.text)
+        self.path = target
+        return target
+
+    def set_text(self, text: str) -> None:
+        self.text = text
+
+    # -- highlighting -----------------------------------------------------
+    def highlight_spans(self) -> list[StyledSpan]:
+        return highlight(self.text, self.path or "<editor>")
+
+    def highlighted_ansi(self) -> str:
+        return render_ansi(self.text, self.path or "<editor>")
+
+    # -- checking -----------------------------------------------------------
+    def diagnostics(self) -> list[Diagnostic]:
+        """All static errors, editor-shaped (empty = the program compiles)."""
+        result = []
+        for exc in check_source(self.text, self.path or "<editor>"):
+            result.append(Diagnostic(
+                line=exc.span.line,
+                column=exc.span.column,
+                message=exc.message,
+                phase=exc.phase,
+            ))
+        return result
+
+    # -- running --------------------------------------------------------------
+    def run(self, inputs: list[str] | None = None,
+            backend: str = "thread") -> str:
+        """Run the buffer; console output (and any runtime error, rendered
+        the way the paper's console pane would show it) is returned and
+        kept in :attr:`console`."""
+        from ..api import BACKEND_FACTORIES, compile_source
+        from ..interp import Interpreter
+
+        self.console = CapturingIO(inputs or [])
+        try:
+            program, source = compile_source(self.text, self.path or "<editor>")
+            backend_obj = BACKEND_FACTORIES[backend]()
+            Interpreter(program, source, backend=backend_obj,
+                        io=self.console).run()
+        except TetraError as exc:
+            self.console.write(exc.render() + "\n")
+        return self.console.output
+
+    # -- debugging ---------------------------------------------------------------
+    def debug(self, inputs: list[str] | None = None) -> DebugSession:
+        """Start a debug session on the buffer (paused at first statement)."""
+        self.debugger = DebugSession(self.text, inputs,
+                                     name=self.path or "<editor>")
+        self.debugger.start()
+        return self.debugger

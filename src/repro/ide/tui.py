@@ -1,0 +1,205 @@
+"""An interactive terminal front end for the parallel debugger.
+
+``tetra dbg program.ttr`` drops into a small command loop over
+:class:`~repro.ide.debugger.DebugSession`.  It renders the paper's
+"multiple code views ... one for each thread" as a panel per thread showing
+the thread's state, the source line it is about to execute, and its
+variables.  Commands:
+
+    threads              list every thread and its state
+    view <t>             code view around thread t's current line
+    step <t> [n]         advance thread t by n statements (others stay put)
+    run <t>              run thread t until it blocks, finishes, or breaks
+    continue             round-robin everything to completion/breakpoint
+    break <line>         set a breakpoint / delete <line> to clear it
+    vars <t>             thread t's variables
+    bt <t>               thread t's Tetra backtrace
+    print <t> <expr>     evaluate an expression in thread t's scope
+    locks                named locks and their holders
+    output               show the console pane
+    quit
+
+The loop reads from/writes to injectable streams so tests can drive it.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import sys
+from typing import Callable, TextIO
+
+from ..errors import TetraError
+from .debugger import DebugSession, ThreadView
+from .highlight import render_ansi
+
+_CONTEXT_LINES = 3
+
+
+class DebuggerTUI:
+    def __init__(self, text: str, inputs: list[str] | None = None,
+                 stdin: TextIO | None = None, stdout: TextIO | None = None,
+                 color: bool = False):
+        self.session = DebugSession(text, inputs)
+        self.stdin = stdin or sys.stdin
+        self.stdout = stdout or sys.stdout
+        self.color = color
+        self._commands: dict[str, Callable[[list[str]], None]] = {
+            "threads": self._cmd_threads,
+            "view": self._cmd_view,
+            "step": self._cmd_step,
+            "run": self._cmd_run,
+            "continue": self._cmd_continue,
+            "break": self._cmd_break,
+            "delete": self._cmd_delete,
+            "vars": self._cmd_vars,
+            "bt": self._cmd_bt,
+            "print": self._cmd_print,
+            "locks": self._cmd_locks,
+            "output": self._cmd_output,
+            "help": self._cmd_help,
+        }
+
+    # ------------------------------------------------------------------
+    def _say(self, text: str = "") -> None:
+        self.stdout.write(text + "\n")
+
+    def repl(self) -> None:
+        """The main loop.  Returns when the user quits or the program ends
+        and the user has seen the final state."""
+        self.session.start()
+        self._say("tetra debugger — program paused before its first statement")
+        self._say("type 'help' for commands")
+        self._cmd_threads([])
+        while True:
+            self.stdout.write("(tetra-dbg) ")
+            self.stdout.flush()
+            line = self.stdin.readline()
+            if not line:
+                break
+            parts = line.split()
+            if not parts:
+                continue
+            command, args = parts[0], parts[1:]
+            if command in ("quit", "exit", "q"):
+                break
+            handler = self._commands.get(command)
+            if handler is None:
+                self._say(f"unknown command {command!r}; try 'help'")
+                continue
+            try:
+                handler(args)
+            except TetraError as exc:
+                self._say(f"! {exc.render()}")
+            except (ValueError, IndexError) as exc:
+                self._say(f"! {exc}")
+            if self.session.finished:
+                self._say("program finished")
+                self._cmd_output([])
+                if self.session.error is not None:
+                    self._say(f"! {self.session.error.render()}")
+                break
+        self.session.stop()
+
+    # ------------------------------------------------------------------
+    def _thread_id(self, args: list[str]) -> int:
+        if not args:
+            raise ValueError("which thread? (see 'threads')")
+        return int(args[0])
+
+    def _describe(self, view: ThreadView) -> str:
+        marker = {True: "paused", False: view.state}[view.is_paused]
+        where = f"line {view.line}" if view.line else "not started"
+        lock = f" (wants lock '{view.waiting_lock}')" if view.waiting_lock else ""
+        return (f"  [{view.id}] {view.label}: {marker} at {where} "
+                f"in {view.function}{lock}")
+
+    def _cmd_threads(self, args: list[str]) -> None:
+        for view in self.session.threads():
+            self._say(self._describe(view))
+
+    def _cmd_view(self, args: list[str]) -> None:
+        view = self.session.thread(self._thread_id(args))
+        self._say(self._describe(view))
+        if not view.line:
+            return
+        lo = max(1, view.line - _CONTEXT_LINES)
+        hi = view.line + _CONTEXT_LINES
+        for n in range(lo, hi + 1):
+            text = self.session.source_line(n)
+            if text == "" and n > view.line:
+                break
+            arrow = "->" if n == view.line else "  "
+            self._say(f"  {arrow} {n:4} | {text}")
+
+    def _cmd_step(self, args: list[str]) -> None:
+        tid = self._thread_id(args)
+        steps = int(args[1]) if len(args) > 1 else 1
+        view = self.session.step(tid, steps)
+        self._cmd_view([str(tid)]) if not self.session.finished else None
+
+    def _cmd_run(self, args: list[str]) -> None:
+        tid = self._thread_id(args)
+        view = self.session.run_thread(tid)
+        if not self.session.finished:
+            self._say(self._describe(view))
+
+    def _cmd_continue(self, args: list[str]) -> None:
+        self.session.continue_all()
+        if not self.session.finished:
+            self._say("stopped at a breakpoint")
+            self._cmd_threads([])
+
+    def _cmd_break(self, args: list[str]) -> None:
+        line = int(args[0])
+        self.session.add_breakpoint(line)
+        self._say(f"breakpoint at line {line}")
+
+    def _cmd_delete(self, args: list[str]) -> None:
+        line = int(args[0])
+        self.session.remove_breakpoint(line)
+        self._say(f"removed breakpoint at line {line}")
+
+    def _cmd_vars(self, args: list[str]) -> None:
+        view = self.session.thread(self._thread_id(args))
+        if not view.variables:
+            self._say("  (no variables yet)")
+        for name, value in view.variables.items():
+            self._say(f"  {name} = {value}")
+
+    def _cmd_bt(self, args: list[str]) -> None:
+        view = self.session.thread(self._thread_id(args))
+        for i, frame in enumerate(reversed(view.backtrace)):
+            self._say(f"  #{i} {frame.function} (line {frame.line})")
+
+    def _cmd_print(self, args: list[str]) -> None:
+        tid = self._thread_id(args)
+        expression = " ".join(args[1:])
+        if not expression:
+            raise ValueError("print needs an expression")
+        self._say(f"  {expression} = {self.session.evaluate(tid, expression)}")
+
+    def _cmd_locks(self, args: list[str]) -> None:
+        scheduler = self.session.backend.scheduler
+        with scheduler.cv:
+            owners = dict(scheduler.lock_owner)
+        if not owners:
+            self._say("  (no locks held)")
+        for name, tid in sorted(owners.items()):
+            label = scheduler.threads[tid].label
+            self._say(f"  lock '{name}' held by [{tid}] {label}")
+
+    def _cmd_output(self, args: list[str]) -> None:
+        text = self.session.output
+        if not text:
+            self._say("  (no output yet)")
+            return
+        for line in text.rstrip("\n").split("\n"):
+            self._say(f"  | {line}")
+
+    def _cmd_help(self, args: list[str]) -> None:
+        self._say(__doc__.split("Commands:")[1].split("The loop")[0])
+
+
+def debug_main(text: str, inputs: list[str] | None = None) -> None:
+    """Entry point used by ``tetra dbg``."""
+    DebuggerTUI(text, inputs).repl()

@@ -1,0 +1,11 @@
+"""Tree-walking interpreter for Tetra programs."""
+
+from .context import CallRecord, ThreadContext
+from .control import BreakSignal, ContinueSignal, ControlSignal, ReturnSignal
+from .interpreter import Interpreter
+
+__all__ = [
+    "CallRecord", "ThreadContext",
+    "BreakSignal", "ContinueSignal", "ControlSignal", "ReturnSignal",
+    "Interpreter",
+]

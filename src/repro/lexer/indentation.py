@@ -1,0 +1,87 @@
+"""Indentation tracking for the whitespace-delimited Tetra grammar.
+
+The paper notes the original lexer was hand-written precisely because of
+significant whitespace.  This module implements the same discipline Python
+uses: a stack of indentation widths; a deeper line emits INDENT, a shallower
+line emits one DEDENT per popped level and must land exactly on an enclosing
+level.  Tabs count as 8 columns (CPython's historical rule) so that files
+mixing tabs and spaces are handled deterministically — but mixing within one
+file is diagnosed, since silent tab/space confusion is a classic beginner
+trap.
+"""
+
+from __future__ import annotations
+
+from ..errors import TetraIndentationError
+from ..source import Span
+
+TAB_WIDTH = 8
+
+
+def indent_width(prefix: str) -> int:
+    """Visual width of a whitespace prefix, expanding tabs to stops of 8."""
+    width = 0
+    for ch in prefix:
+        if ch == "\t":
+            width += TAB_WIDTH - (width % TAB_WIDTH)
+        else:
+            width += 1
+    return width
+
+
+class IndentTracker:
+    """Maintains the indent stack and reports push/pop transitions.
+
+    The scanner feeds it the whitespace prefix of every *logical* line
+    (blank and comment-only lines are skipped before reaching here).
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[int] = [0]
+        self._seen_space = False
+        self._seen_tab = False
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 at module level)."""
+        return len(self._stack) - 1
+
+    def check_consistency(self, prefix: str, span: Span) -> None:
+        if " " in prefix:
+            self._seen_space = True
+        if "\t" in prefix:
+            self._seen_tab = True
+        if self._seen_space and self._seen_tab:
+            raise TetraIndentationError(
+                "file mixes tabs and spaces for indentation; pick one", span
+            )
+
+    def transition(self, prefix: str, span: Span) -> tuple[int, int]:
+        """Process a new logical line's indentation.
+
+        Returns ``(indents, dedents)`` — how many INDENT and DEDENT tokens
+        the scanner must emit (at most one INDENT; possibly several DEDENTs).
+        """
+        self.check_consistency(prefix, span)
+        width = indent_width(prefix)
+        top = self._stack[-1]
+        if width == top:
+            return (0, 0)
+        if width > top:
+            self._stack.append(width)
+            return (1, 0)
+        dedents = 0
+        while self._stack and self._stack[-1] > width:
+            self._stack.pop()
+            dedents += 1
+        if not self._stack or self._stack[-1] != width:
+            raise TetraIndentationError(
+                "unindent does not match any outer indentation level", span
+            )
+        return (0, dedents)
+
+    def close(self) -> int:
+        """Number of DEDENTs needed to close all open blocks at EOF."""
+        dedents = len(self._stack) - 1
+        self._stack = [0]
+        return dedents

@@ -1,0 +1,279 @@
+"""The hand-written Tetra scanner.
+
+Produces a flat token stream with explicit NEWLINE / INDENT / DEDENT layout
+tokens, exactly the interface the recursive-descent parser consumes.
+
+Notable behaviours (all mirrored from the paper's description of Tetra or
+standard Python-family lexing where the paper is silent):
+
+* ``#`` starts a comment running to end of line.
+* Blank and comment-only lines produce no tokens at all.
+* Newlines inside parentheses or brackets are ignored (implicit joining),
+  so long array literals and call argument lists can wrap.
+* ``[1 ... 100]`` range literals: ``...`` is a single ELLIPSIS token, and a
+  ``.`` directly following an integer is only consumed as a decimal point if
+  it is *not* the start of an ellipsis (so ``[1...100]`` also lexes).
+* String literals use double quotes with ``\\n \\t \\\\ \\"`` escapes.
+"""
+
+from __future__ import annotations
+
+from ..errors import TetraSyntaxError
+from ..source import SourceFile, Span
+from .indentation import IndentTracker
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+_STRING_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+}
+
+
+class Scanner:
+    """Single-pass scanner over one :class:`SourceFile`."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.paren_depth = 0
+        self.indent = IndentTracker()
+        self.tokens: list[Token] = []
+        self._at_line_start = True
+
+    # ------------------------------------------------------------------
+    # Low-level cursor helpers
+    # ------------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.text[i] if i < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _span_from(self, start: int, line: int, col: int) -> Span:
+        return Span(start, self.pos, line, col)
+
+    def _here(self) -> Span:
+        return Span(self.pos, self.pos + 1, self.line, self.col)
+
+    def _emit(self, type_: TokenType, span: Span, value: object = None) -> None:
+        self.tokens.append(Token(type_, self.text[span.start : span.end], span, value))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def scan(self) -> list[Token]:
+        """Tokenize the whole file, returning the token list ending in EOF."""
+        while self.pos < len(self.text):
+            if self._at_line_start and self.paren_depth == 0:
+                if self._handle_line_start():
+                    continue
+            ch = self._peek()
+            if ch == "\n":
+                self._handle_newline()
+            elif ch in (" ", "\t"):
+                self._advance()
+            elif ch == "\r":
+                self._advance()  # tolerate CRLF files
+            elif ch == "#":
+                self._skip_comment()
+            elif ch == '"':
+                self._scan_string()
+            elif ch.isdigit():
+                self._scan_number()
+            elif ch.isalpha() or ch == "_":
+                self._scan_word()
+            else:
+                self._scan_operator()
+        self._finish()
+        return self.tokens
+
+    # ------------------------------------------------------------------
+    # Line structure
+    # ------------------------------------------------------------------
+    def _handle_line_start(self) -> bool:
+        """Measure indentation at the start of a logical line.
+
+        Returns True if the whole line was blank/comment-only and consumed.
+        """
+        start = self.pos
+        line, col = self.line, self.col
+        while self._peek() in (" ", "\t"):
+            self._advance()
+        nxt = self._peek()
+        if nxt in ("\n", "\r", ""):
+            # Blank line: no tokens, no indentation significance.
+            while self._peek() in ("\r", "\n"):
+                self._advance()
+            return True
+        if nxt == "#":
+            self._skip_comment()
+            while self._peek() in ("\r", "\n"):
+                self._advance()
+            return True
+        prefix = self.text[start : self.pos]
+        span = Span(start, self.pos, line, col)
+        indents, dedents = self.indent.transition(prefix, span)
+        for _ in range(indents):
+            self._emit(TokenType.INDENT, span)
+        for _ in range(dedents):
+            self._emit(TokenType.DEDENT, span)
+        self._at_line_start = False
+        return False
+
+    def _handle_newline(self) -> None:
+        span = self._here()
+        self._advance()
+        if self.paren_depth == 0:
+            # Collapse runs of newlines into a single NEWLINE token.
+            if self.tokens and self.tokens[-1].type not in (
+                TokenType.NEWLINE,
+                TokenType.INDENT,
+                TokenType.DEDENT,
+            ):
+                self._emit(TokenType.NEWLINE, span)
+            self._at_line_start = True
+
+    def _skip_comment(self) -> None:
+        while self._peek() not in ("\n", ""):
+            self._advance()
+
+    def _finish(self) -> None:
+        end_span = Span(self.pos, self.pos, self.line, self.col)
+        if self.tokens and self.tokens[-1].type not in (
+            TokenType.NEWLINE,
+            TokenType.INDENT,
+            TokenType.DEDENT,
+        ):
+            self._emit(TokenType.NEWLINE, end_span)
+        for _ in range(self.indent.close()):
+            self._emit(TokenType.DEDENT, end_span)
+        self._emit(TokenType.EOF, end_span)
+
+    # ------------------------------------------------------------------
+    # Token classes
+    # ------------------------------------------------------------------
+    def _scan_string(self) -> None:
+        start, line, col = self.pos, self.line, self.col
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise TetraSyntaxError(
+                    "unterminated string literal",
+                    Span(start, self.pos, line, col),
+                ).attach_source(self.source)
+            if ch == "\n":
+                raise TetraSyntaxError(
+                    "newline inside string literal (close the quote)",
+                    Span(start, self.pos, line, col),
+                ).attach_source(self.source)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                if esc not in _STRING_ESCAPES:
+                    raise TetraSyntaxError(
+                        f"unknown escape sequence '\\{esc}'", self._here()
+                    ).attach_source(self.source)
+                chars.append(_STRING_ESCAPES[esc])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        span = self._span_from(start, line, col)
+        self._emit(TokenType.STRING, span, "".join(chars))
+
+    def _scan_number(self) -> None:
+        start, line, col = self.pos, self.line, self.col
+        while self._peek().isdigit():
+            self._advance()
+        is_real = False
+        # A '.' is a decimal point only if it is not the start of '...'
+        # (range literal) and is followed by a digit: ``1.5`` vs ``1...5``.
+        if self._peek() == "." and self._peek(1) != "." and self._peek(1).isdigit():
+            is_real = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in ("+", "-") and self._peek(2).isdigit())
+        ):
+            is_real = True
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        span = self._span_from(start, line, col)
+        text = self.text[span.start : span.end]
+        if is_real:
+            self._emit(TokenType.REAL, span, float(text))
+        else:
+            self._emit(TokenType.INT, span, int(text))
+
+    def _scan_word(self) -> None:
+        start, line, col = self.pos, self.line, self.col
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        span = self._span_from(start, line, col)
+        word = self.text[span.start : span.end]
+        kw = KEYWORDS.get(word)
+        if kw is not None:
+            self._emit(kw, span)
+        else:
+            self._emit(TokenType.IDENT, span, word)
+
+    def _scan_operator(self) -> None:
+        for text, type_ in MULTI_CHAR_OPERATORS:
+            if self.text.startswith(text, self.pos):
+                start, line, col = self.pos, self.line, self.col
+                self._advance(len(text))
+                self._emit(type_, self._span_from(start, line, col))
+                return
+        ch = self._peek()
+        type_ = SINGLE_CHAR_OPERATORS.get(ch)
+        if type_ is None:
+            err_span = self._here()
+            raise TetraSyntaxError(
+                f"unexpected character {ch!r}", err_span
+            ).attach_source(self.source)
+        start, line, col = self.pos, self.line, self.col
+        self._advance()
+        if type_ in (TokenType.LPAREN, TokenType.LBRACKET, TokenType.LBRACE):
+            self.paren_depth += 1
+        elif type_ in (TokenType.RPAREN, TokenType.RBRACKET, TokenType.RBRACE):
+            self.paren_depth = max(0, self.paren_depth - 1)
+        self._emit(type_, self._span_from(start, line, col))
+
+
+def tokenize(source: SourceFile | str, name: str = "<string>") -> list[Token]:
+    """Tokenize Tetra source text (convenience wrapper around Scanner)."""
+    if isinstance(source, str):
+        source = SourceFile.from_string(source, name)
+    return Scanner(source).scan()

@@ -1,0 +1,5 @@
+"""Parsing for Tetra (recursive descent; see DESIGN.md §4)."""
+
+from .parser import Parser, parse_expression, parse_source
+
+__all__ = ["Parser", "parse_expression", "parse_source"]

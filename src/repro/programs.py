@@ -1,0 +1,344 @@
+"""Canonical Tetra programs: the paper's listings and evaluation workloads.
+
+The three figure listings are verbatim from the paper (modulo the obvious
+OCR fixes the paper's PDF needs: ``[1 100]`` is ``[1 ... 100]``).  The
+evaluation workloads — the first-N primes counter and the travelling
+salesman solver — reconstruct the two programs §IV says were used to
+measure "approximately 5X speedup ... on 8 cores"; the paper does not print
+their sources, so these are the straightforward Tetra renderings of those
+algorithms using the language's own constructs (``parallel for`` + ``lock``).
+
+Every program here is exercised by tests and regenerated into
+``examples/tetra/*.ttr`` so users can run them from the CLI.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Figure I — "A Simple Sequential Program"
+# ----------------------------------------------------------------------
+FIGURE_1_FACTORIAL = '''\
+# a simple factorial function
+def fact(x int) int:
+    if x == 0:
+        return 1
+    else:
+        return x * fact(x - 1)
+
+# a main function which handles I/O
+def main():
+    print("enter n: ")
+    n = read_int()
+    print(n, "! = ", fact(n))
+'''
+
+# ----------------------------------------------------------------------
+# Figure II — "A Parallel Sum Program"
+# ----------------------------------------------------------------------
+FIGURE_2_PARALLEL_SUM = '''\
+# sum a range of numbers
+def sumr(nums [int], a int, b int) int:
+    total = 0
+    i = a
+    while i <= b:
+        total += nums[i]
+        i += 1
+    return total
+
+# sum an array of numbers in parallel
+def sum(nums [int]) int:
+    mid = len(nums) / 2
+    parallel:
+        a = sumr(nums, 0, mid - 1)
+        b = sumr(nums, mid, len(nums) - 1)
+    return a + b
+
+# print the sum of 1 through 100
+def main():
+    print(sum([1 ... 100]))
+'''
+
+# ----------------------------------------------------------------------
+# Figure III — "A Parallel Max Program"
+# ----------------------------------------------------------------------
+FIGURE_3_PARALLEL_MAX = '''\
+# find the max of an array
+def max(nums [int]) int:
+    largest = 0
+    parallel for num in nums:
+        if num > largest:
+            lock largest:
+                if num > largest:
+                    largest = num
+    return largest
+
+# run it on some numbers
+def main():
+    nums = [18, 32, 96, 48, 60]
+    print(max(nums))
+'''
+
+# ----------------------------------------------------------------------
+# Evaluation workload 1 — primes (§IV: "calculates the first million primes")
+# ----------------------------------------------------------------------
+# Parameterized by LIMIT so benchmarks can scale it; the paper's full-size
+# run is LIMIT such that a million primes fit (≈15.5M), far beyond what a
+# tree-walking interpreter should be asked to do in a test suite.
+PRIMES_TEMPLATE = '''\
+# trial-division primality test
+def is_prime(n int) bool:
+    if n < 2:
+        return false
+    if n % 2 == 0:
+        return n == 2
+    d = 3
+    while d * d <= n:
+        if n % d == 0:
+            return false
+        d += 2
+    return true
+
+# count the primes up to limit, in parallel
+def count_primes(limit int) int:
+    count = 0
+    parallel for n in [2 ... limit]:
+        if is_prime(n):
+            lock count:
+                count += 1
+    return count
+
+def main():
+    print(count_primes({limit}))
+'''
+
+
+def primes_program(limit: int) -> str:
+    """The primes workload, counting primes up to ``limit``."""
+    return PRIMES_TEMPLATE.format(limit=limit)
+
+
+#: Known prime counts for verifying workload output.
+PRIME_COUNTS = {100: 25, 1000: 168, 2000: 303, 5000: 669, 10000: 1229}
+
+# ----------------------------------------------------------------------
+# Evaluation workload 2 — travelling salesman (§IV)
+# ----------------------------------------------------------------------
+# Exhaustive search over permutations, parallelized over the first hop from
+# city 0 — the natural way to fan a TSP search out across Tetra's
+# ``parallel for``.  Distances are a deterministic synthetic matrix so runs
+# are reproducible.  The shared best tour is protected by the same
+# double-check-then-lock idiom as Figure III.
+TSP_TEMPLATE = '''\
+# synthetic symmetric distance between cities a and b
+def dist(a int, b int) int:
+    lo = min(a, b)
+    hi = max(a, b)
+    return (lo * 7 + hi * 13) % 29 + 1
+
+# cost of the best tour visiting everything in 'remaining', starting at
+# 'current', having already paid 'so_far'; 'best_known' prunes the search
+def search(current int, remaining [int], so_far int, best_known int) int:
+    if so_far >= best_known:
+        return best_known
+    if len(remaining) == 0:
+        return so_far + dist(current, 0)
+    best = best_known
+    i = 0
+    while i < len(remaining):
+        next_city = remaining[i]
+        rest = array(len(remaining) - 1, 0)
+        j = 0
+        k = 0
+        while j < len(remaining):
+            if j != i:
+                rest[k] = remaining[j]
+                k += 1
+            j += 1
+        cost = search(next_city, rest, so_far + dist(current, next_city), best)
+        if cost < best:
+            best = cost
+        i += 1
+    return best
+
+# best tour whose first two hops are 0 -> first -> second.  Worker-local
+# scratch lives in this function's own activation, so parallel workers
+# cannot interfere; p encodes the (first, second) pair.
+def tour_from_pair(p int, n int, bound int) int:
+    first = p / (n - 2) + 1
+    second_index = p % (n - 2)
+    second = 0
+    k = 0
+    c = 1
+    while c < n:
+        if c != first:
+            if k == second_index:
+                second = c
+            k += 1
+        c += 1
+    rest = array(n - 3, 0)
+    k = 0
+    c = 1
+    while c < n:
+        if c != first and c != second:
+            rest[k] = c
+            k += 1
+        c += 1
+    start_cost = dist(0, first) + dist(first, second)
+    return search(second, rest, start_cost, bound)
+
+# solve TSP over cities 0..n-1, fanning the search out over the first two
+# hops ((n-1)*(n-2) independent subtrees); per-worker results land in slots
+# indexed by the private induction variable, and the shared pruning bound is
+# updated under a lock (Figure III's double-check idiom)
+def solve(n int) int:
+    pairs = (n - 1) * (n - 2)
+    best = 1000000
+    results = array(pairs, 1000000)
+    parallel for p in [0 ... pairs - 1]:
+        results[p] = tour_from_pair(p, n, best)
+        if results[p] < best:
+            lock best:
+                if results[p] < best:
+                    best = results[p]
+    return best
+
+def main():
+    print(solve({cities}))
+'''
+
+
+def tsp_program(cities: int) -> str:
+    """The TSP workload over ``cities`` synthetic cities (cities >= 3)."""
+    if cities < 3:
+        raise ValueError("the TSP workload needs at least 3 cities")
+    return TSP_TEMPLATE.format(cities=cities)
+
+
+# ----------------------------------------------------------------------
+# Teaching programs referenced by the IDE/debugger documentation
+# ----------------------------------------------------------------------
+RACE_DEMO = '''\
+# A deliberately racy max: the check and the write are not atomic, so a
+# thread can overwrite a larger value that landed in between.  Run it under
+# the cooperative scheduler with different schedules to see both answers.
+def racy_max(nums [int]) int:
+    largest = 0
+    parallel for num in nums:
+        if num > largest:
+            largest = num
+    return largest
+
+def main():
+    nums = [90, 1, 2, 3]
+    print(racy_max(nums))
+'''
+
+DEADLOCK_DEMO = '''\
+# Two threads take the same two locks in opposite orders — the classic
+# deadlock.  Tetra detects the cycle and explains it instead of hanging.
+def take_ab():
+    lock a:
+        x = 1
+        lock b:
+            x = 2
+
+def take_ba():
+    lock b:
+        y = 1
+        lock a:
+            y = 2
+
+def main():
+    parallel:
+        take_ab()
+        take_ba()
+'''
+
+BACKGROUND_DEMO = '''\
+# background blocks launch work without waiting for it
+def chime(label string, times int):
+    i = 0
+    while i < times:
+        print(label, " ", i)
+        i += 1
+
+def main():
+    background:
+        chime("background", 3)
+    print("main keeps going")
+'''
+
+WORD_COUNT_DEMO = '''\
+# The implemented future-work features in one program: associative arrays,
+# typed declarations, and error handling.  Counts words in parallel, one
+# shard per worker, merged under a lock.
+def count_words(text string, workers int) {string: int}:
+    words = split(text, " ")
+    # array() deep-copies its initial value, so every shard is independent
+    shards = array(workers, empty_counts())
+    parallel for w in [0 ... workers - 1]:
+        count_shard(words, w, workers, shards[w])
+    totals {string: int} = {}
+    for shard in shards:
+        for word in shard:
+            totals[word] = get_or(totals, word, 0) + shard[word]
+    return totals
+
+def empty_counts() {string: int}:
+    fresh {string: int} = {}
+    return fresh
+
+# each worker counts the words at positions w, w+workers, ... into its own
+# shard, so no locking is needed until the merge
+def count_shard(words [string], w int, workers int, shard {string: int}):
+    i = w
+    while i < len(words):
+        shard[words[i]] = get_or(shard, words[i], 0) + 1
+        i += workers
+
+def main():
+    text = "the quick brown fox jumps over the lazy dog the fox"
+    counts = count_words(text, 4)
+    for word in counts:
+        print(word, ": ", counts[word])
+    try:
+        print(counts["missing"])
+    catch problem:
+        print("lookup failed: ", problem)
+'''
+
+BANK_DEMO = """\
+# Classes + locks: the textbook shared-account example.  Four tellers
+# deposit concurrently; the lock keeps the read-modify-write atomic.
+class Account:
+    owner string
+    balance int
+
+    def deposit(amount int):
+        self.balance += amount
+
+    def describe() string:
+        return self.owner + " has " + str(self.balance)
+
+def main():
+    account = Account("team", 0)
+    parallel for i in [1 ... 100]:
+        lock account:
+            account.deposit(10)
+    print(account.describe())
+    print(account)
+"""
+
+#: Name → source for everything above (drives example generation and tests).
+ALL_PROGRAMS: dict[str, str] = {
+    "figure1_factorial": FIGURE_1_FACTORIAL,
+    "figure2_parallel_sum": FIGURE_2_PARALLEL_SUM,
+    "figure3_parallel_max": FIGURE_3_PARALLEL_MAX,
+    "primes_2000": primes_program(2000),
+    "tsp_7": tsp_program(7),
+    "race_demo": RACE_DEMO,
+    "deadlock_demo": DEADLOCK_DEMO,
+    "background_demo": BACKGROUND_DEMO,
+    "word_count": WORD_COUNT_DEMO,
+    "bank_account": BANK_DEMO,
+}

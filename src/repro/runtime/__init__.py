@@ -1,0 +1,45 @@
+"""Tetra's parallel runtime: values, environments, locks, and backends."""
+
+from .backend import Backend, RuntimeConfig, SequentialBackend, ThreadBackend
+from .coop import (
+    CoopBackend,
+    CoopScheduler,
+    ManualPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SchedulerPolicy,
+    ScriptPolicy,
+)
+from .cost import DEFAULT_COST_MODEL, FREE_PARALLELISM, CostModel
+from .env import Environment, Frame
+from .locks import LockStats, LockTable
+from .machine import Machine, ScheduleResult, speedup_curve
+from .sim import SimBackend
+from .taskgraph import Acquire, Fork, Release, Task, TraceRecorder, Work
+from .values import (
+    TetraArray,
+    Value,
+    coerce_to,
+    deep_copy,
+    display,
+    int_div,
+    int_mod,
+    make_array,
+    real_div,
+    real_mod,
+    tetra_pow,
+    type_of_value,
+)
+
+__all__ = [
+    "Backend", "RuntimeConfig", "SequentialBackend", "ThreadBackend",
+    "CoopBackend", "CoopScheduler", "ManualPolicy", "RandomPolicy",
+    "RoundRobinPolicy", "SchedulerPolicy", "ScriptPolicy",
+    "DEFAULT_COST_MODEL", "FREE_PARALLELISM", "CostModel",
+    "Environment", "Frame", "LockStats", "LockTable",
+    "Machine", "ScheduleResult", "speedup_curve", "SimBackend",
+    "Acquire", "Fork", "Release", "Task", "TraceRecorder", "Work",
+    "TetraArray", "Value", "coerce_to", "deep_copy", "display",
+    "int_div", "int_mod", "make_array", "real_div", "real_mod",
+    "tetra_pow", "type_of_value",
+]

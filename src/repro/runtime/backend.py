@@ -1,0 +1,228 @@
+"""Execution backends: how Tetra's parallel constructs actually run.
+
+The interpreter is backend-agnostic; a :class:`Backend` decides what
+``parallel`` / ``background`` / ``parallel for`` / ``lock`` mean
+operationally.  Three implementations ship (DESIGN.md §2):
+
+* :class:`ThreadBackend` (here) — one real OS thread per parallel statement,
+  the paper's own execution model.
+* :class:`~repro.runtime.coop.CoopBackend` — deterministic cooperative
+  scheduling, the substrate for the debugger and race/deadlock education.
+* :class:`~repro.runtime.sim.SimBackend` — sequential recording plus a
+  virtual-time multicore model, used for the speedup evaluation.
+
+A *job* is ``(context, thunk)``: the interpreter prepares a fresh
+:class:`ThreadContext` per child (its id keys the lock wait-for graph) and a
+zero-argument callable that runs the child statement in the right
+environment.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import TetraError, TetraThreadError
+from ..source import NO_SPAN, Span
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .locks import LockTable
+
+Job = tuple[object, Callable[[], None]]  # (child ThreadContext, thunk)
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs shared by all backends."""
+
+    #: Worker threads for ``parallel for``.  None → backend default
+    #: (machine cores for threads, model cores for the simulator).
+    num_workers: int | None = None
+    #: 'block' assigns contiguous iteration ranges; 'cyclic' deals them out
+    #: round-robin (the chunking ablation in DESIGN.md §3).
+    chunking: str = "block"
+    #: Wait for ``background`` threads when the program finishes, so program
+    #: output is deterministic.  Set False to truly detach them.
+    wait_for_background: bool = True
+    #: Abort interpretation after this many statements (0 = unlimited).
+    #: Guards tests and the debugger against runaway programs.
+    step_limit: int = 0
+    #: Tetra-level recursion depth limit.
+    recursion_limit: int = 200
+
+    def __post_init__(self) -> None:
+        if self.chunking not in ("block", "cyclic"):
+            raise ValueError("chunking must be 'block' or 'cyclic'")
+
+
+class Backend:
+    """Interface the interpreter programs against."""
+
+    #: True if charge() should be called for every operation (sim only);
+    #: the interpreter skips cost computation entirely when False.
+    accounting = False
+    name = "abstract"
+
+    def __init__(self, config: RuntimeConfig | None = None):
+        self.config = config or RuntimeConfig()
+
+    # -- hooks ------------------------------------------------------------
+    def charge(self, ctx, units: int) -> None:
+        """Account virtual work (sim backend only)."""
+
+    def checkpoint(self, ctx, node) -> None:
+        """Called before each statement: scheduling / cancellation point."""
+
+    # -- parallel constructs ----------------------------------------------
+    def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
+                    span: Span = NO_SPAN) -> None:
+        raise NotImplementedError
+
+    def parallel_for_workers(self, n_items: int) -> int:
+        raise NotImplementedError
+
+    def lock(self, ctx, name: str, body: Callable[[], None],
+             span: Span = NO_SPAN) -> None:
+        raise NotImplementedError
+
+    # -- lifecycle ----------------------------------------------------------
+    def start_program(self, root_ctx) -> None:
+        """Called once before main() runs."""
+
+    def finish_program(self, root_ctx) -> None:
+        """Called once after main() returns (joins background work)."""
+
+
+class ThreadBackend(Backend):
+    """Real OS threads — the paper's Pthreads model, verbatim.
+
+    Honest about CPython: threads give *concurrency* (and real data races,
+    which the teaching examples rely on) but the GIL prevents speedup; the
+    GIL-honesty benchmark documents that, and the simulator provides the
+    scalability evaluation.
+    """
+
+    name = "thread"
+
+    def __init__(self, config: RuntimeConfig | None = None):
+        super().__init__(config)
+        self.locks = LockTable()
+        self._background: list[threading.Thread] = []
+        self._background_errors: list[BaseException] = []
+        self._bg_monitor = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
+                    span: Span = NO_SPAN) -> None:
+        threads: list[threading.Thread] = []
+        errors: list[tuple[str, BaseException]] = []
+        err_lock = threading.Lock()
+
+        def runner(child_ctx, thunk) -> None:
+            self.locks.register_thread(child_ctx.id, child_ctx.label)
+            try:
+                thunk()
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                with err_lock:
+                    errors.append((child_ctx.label, exc))
+                if not join:
+                    with self._bg_monitor:
+                        self._background_errors.append(exc)
+
+        for child_ctx, thunk in jobs:
+            thread = threading.Thread(
+                target=runner,
+                args=(child_ctx, thunk),
+                name=child_ctx.label,
+                daemon=False,
+            )
+            threads.append(thread)
+            thread.start()
+
+        if join:
+            for thread in threads:
+                thread.join()
+            if errors:
+                label, exc = errors[0]
+                if isinstance(exc, TetraError):
+                    raise exc
+                raise TetraThreadError(
+                    f"{label} failed with {type(exc).__name__}: {exc}", span
+                ) from exc
+        else:
+            with self._bg_monitor:
+                self._background.extend(threads)
+
+    def parallel_for_workers(self, n_items: int) -> int:
+        workers = self.config.num_workers or os.cpu_count() or 1
+        return max(1, min(workers, n_items))
+
+    def lock(self, ctx, name: str, body: Callable[[], None],
+             span: Span = NO_SPAN) -> None:
+        self.locks.acquire(name, ctx.id, span)
+        try:
+            body()
+        finally:
+            self.locks.release(name, ctx.id)
+
+    def start_program(self, root_ctx) -> None:
+        self.locks.register_thread(root_ctx.id, root_ctx.label)
+
+    def finish_program(self, root_ctx) -> None:
+        if not self.config.wait_for_background:
+            return
+        while True:
+            with self._bg_monitor:
+                if not self._background:
+                    break
+                thread = self._background.pop()
+            thread.join()
+        with self._bg_monitor:
+            if self._background_errors:
+                exc = self._background_errors[0]
+                self._background_errors.clear()
+                if isinstance(exc, TetraError):
+                    raise exc
+                raise TetraThreadError(
+                    f"a background thread failed with "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+
+
+class SequentialBackend(Backend):
+    """Runs parallel constructs sequentially in program order.
+
+    The semantic baseline: any data-race-free Tetra program must produce the
+    same answer here as on the thread backend (a property the differential
+    tests exercise), and it is also the fastest way to run a program when
+    you only care about its output.
+    """
+
+    name = "sequential"
+
+    def __init__(self, config: RuntimeConfig | None = None):
+        super().__init__(config)
+        self._held: list[tuple[object, str]] = []
+
+    def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
+                    span: Span = NO_SPAN) -> None:
+        for _child_ctx, thunk in jobs:
+            thunk()
+
+    def parallel_for_workers(self, n_items: int) -> int:
+        return max(1, min(self.config.num_workers or 1, n_items))
+
+    def lock(self, ctx, name: str, body: Callable[[], None],
+             span: Span = NO_SPAN) -> None:
+        from ..errors import TetraDeadlockError
+
+        if (ctx.id, name) in self._held:
+            raise TetraDeadlockError(
+                f"{ctx.label} re-entered 'lock {name}:' it already holds", span
+            )
+        self._held.append((ctx.id, name))
+        try:
+            body()
+        finally:
+            self._held.remove((ctx.id, name))

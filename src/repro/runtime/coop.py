@@ -1,0 +1,480 @@
+"""Deterministic cooperative scheduling of Tetra threads.
+
+The IDE the paper describes lets a student "step through the different
+threads independently ... step though the code in one thread all the way to
+the end (or a lock) to ensure that this does not negatively impact what the
+other threads are doing".  That requires a runtime where *the tool* chooses
+which thread advances — something native debuggers cannot offer (paper §V).
+
+``CoopBackend`` provides it: Tetra threads are real OS threads, but a baton
+protocol guarantees **exactly one** runs between checkpoints (one checkpoint
+per interpreted statement), and a pluggable :class:`SchedulerPolicy` picks
+the next runner.  Policies:
+
+* :class:`RoundRobinPolicy` — deterministic interleaving, switch every N
+  statements; N=1 maximizes interleaving and reliably exposes Figure III's
+  check-then-act race.
+* :class:`RandomPolicy` — seeded pseudo-random interleavings for schedule
+  fuzzing (run a test under many seeds).
+* :class:`ScriptPolicy` — an explicit list of thread labels to run, for
+  reproducing one specific buggy interleaving in a lesson.
+* :class:`ManualPolicy` — nobody runs until a controller (the debugger)
+  grants steps; this is the IDE's per-thread stepping.
+
+All blocked threads with none runnable means deadlock; the scheduler builds
+the wait-for description and aborts every thread with a
+:class:`~repro.errors.TetraDeadlockError` instead of hanging the session.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import TetraDeadlockError, TetraError, TetraThreadError
+from ..source import NO_SPAN, Span
+from .backend import Backend, Job, RuntimeConfig
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+class SchedulerPolicy:
+    """Chooses the next thread to run at every scheduling point."""
+
+    #: Manual policies leave the program paused until a controller grants
+    #: steps; automatic policies always pick somebody.
+    manual = False
+
+    def choose(self, ready: list[int], current: int | None) -> int:
+        raise NotImplementedError
+
+    def initial_budget(self) -> float:
+        return _INF
+
+
+class RoundRobinPolicy(SchedulerPolicy):
+    """Cycle through runnable threads in id order, switching every
+    ``switch_every`` statements."""
+
+    def __init__(self, switch_every: int = 1):
+        if switch_every < 1:
+            raise ValueError("switch_every must be >= 1")
+        self.switch_every = switch_every
+        self._since_switch = 0
+
+    def choose(self, ready: list[int], current: int | None) -> int:
+        if current in ready:
+            self._since_switch += 1
+            if self._since_switch < self.switch_every:
+                return current  # keep running
+        self._since_switch = 0
+        if current is None or current not in ready:
+            return ready[0]
+        after = [t for t in ready if t > current]
+        return after[0] if after else ready[0]
+
+
+class RandomPolicy(SchedulerPolicy):
+    """Seeded random choice at every statement — schedule fuzzing."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, ready: list[int], current: int | None) -> int:
+        return self._rng.choice(ready)
+
+
+class ScriptPolicy(SchedulerPolicy):
+    """Follow an explicit schedule of thread *labels*: the k-th entry names
+    the thread that executes the k-th scripted statement.
+
+    An entry is consumed when its thread runs; entries for threads that are
+    not ready *yet* (including threads that have not spawned) are left in
+    place and round-robin fills in until they can run; entries for finished
+    threads are dropped.  When the script is exhausted, round-robin finishes
+    the program."""
+
+    def __init__(self, script: Sequence[str]):
+        self.script = deque(script)
+        self._fallback = RoundRobinPolicy()
+        #: Filled by the scheduler so labels can be resolved to ids.
+        self.label_of: dict[int, str] = {}
+        #: Ids of finished threads (maintained by the scheduler).
+        self.finished_ids: set[int] = set()
+
+    def choose(self, ready: list[int], current: int | None) -> int:
+        while self.script:
+            wanted = self.script[0]
+            matches = [t for t in ready if self.label_of.get(t) == wanted]
+            if matches:
+                self.script.popleft()
+                return matches[0]
+            finished = any(
+                self.label_of.get(t) == wanted for t in self.finished_ids
+            )
+            if finished:
+                self.script.popleft()  # can never run again: drop
+                continue
+            break  # not ready yet (or never will exist): fill in with RR
+        return self._fallback.choose(ready, current)
+
+
+class ManualPolicy(SchedulerPolicy):
+    """Threads only run when a controller grants them steps (the debugger)."""
+
+    manual = True
+
+    def choose(self, ready: list[int], current: int | None) -> int:  # pragma: no cover
+        raise AssertionError("manual policy is driven by the controller")
+
+    def initial_budget(self) -> float:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# Scheduler state
+# ----------------------------------------------------------------------
+READY = "ready"
+BLOCKED_LOCK = "blocked on lock"
+BLOCKED_JOIN = "waiting to join children"
+FINISHED = "finished"
+
+
+@dataclass
+class CoopThread:
+    """Scheduler-side record of one Tetra thread."""
+
+    id: int
+    label: str
+    state: str = READY
+    budget: float = _INF
+    waiting_lock: str | None = None
+    #: Child thread ids the current join is waiting on (None when not joining).
+    join_group: set[int] | None = None
+    parent: "CoopThread | None" = None
+    #: True when the scheduler granted a turn this thread has not yet
+    #: consumed (consumed at the next checkpoint or block resumption).
+    has_fresh_turn: bool = False
+    #: Where the thread last checkpointed (line info for the debugger).
+    current_span: Span = NO_SPAN
+    error: BaseException | None = None
+
+
+class CoopScheduler:
+    """The turn token: at most one Tetra thread runs at any moment, and the
+    policy is consulted exactly once per *turn* — one executed statement, or
+    one resumption from a lock/join block.  That makes ScriptPolicy entries
+    line up 1:1 with statements, which is what lesson scripts need.
+    """
+
+    def __init__(self, policy: SchedulerPolicy):
+        self.policy = policy
+        self.cv = threading.Condition()
+        self.threads: dict[int, CoopThread] = {}
+        #: Thread currently holding the turn (it may be executing).
+        self.turn_holder: int | None = None
+        self._last_holder: int | None = None
+        self.lock_owner: dict[str, int] = {}
+        self.lock_waiters: dict[str, deque[int]] = {}
+        self.abort_exc: BaseException | None = None
+        self.statements_run: dict[int, int] = {}
+
+    # -- registration ----------------------------------------------------
+    def register(self, ctx, parent_id: int | None = None) -> CoopThread:
+        with self.cv:
+            parent = self.threads.get(parent_id) if parent_id is not None else None
+            record = CoopThread(ctx.id, ctx.label, parent=parent,
+                                budget=self.policy.initial_budget())
+            self.threads[ctx.id] = record
+            self.statements_run[ctx.id] = 0
+            if isinstance(self.policy, ScriptPolicy):
+                self.policy.label_of[ctx.id] = ctx.label
+            return record
+
+    # -- turn machinery ------------------------------------------------
+    def _eligible(self) -> list[int]:
+        """Threads that could be given the next turn (cv held)."""
+        return sorted(
+            t.id for t in self.threads.values()
+            if t.state == READY and t.budget > 0
+        )
+
+    def _schedule_turn(self) -> None:
+        """Hand out the next turn if nobody holds one (cv held)."""
+        if self.turn_holder is not None:
+            return
+        ready = self._eligible()
+        if ready:
+            if self.policy.manual:
+                chosen = ready[0]
+            else:
+                chosen = self.policy.choose(ready, self._last_holder)
+            record = self.threads[chosen]
+            if record.budget is not _INF:
+                record.budget -= 1
+            record.has_fresh_turn = True
+            self.turn_holder = chosen
+            self._last_holder = chosen
+            self.cv.notify_all()
+            return
+        self.cv.notify_all()
+        live = [t for t in self.threads.values() if t.state != FINISHED]
+        if live and all(t.state in (BLOCKED_LOCK, BLOCKED_JOIN) for t in live):
+            self._declare_deadlock(live)
+        # Otherwise (manual mode): threads are paused awaiting grants.
+
+    def _declare_deadlock(self, live: list[CoopThread]) -> None:
+        parts = []
+        for t in live:
+            if t.state == BLOCKED_LOCK:
+                owner = self.lock_owner.get(t.waiting_lock or "")
+                owner_label = (self.threads[owner].label
+                               if owner is not None else "nobody")
+                parts.append(
+                    f"{t.label} waits for 'lock {t.waiting_lock}' "
+                    f"held by {owner_label}"
+                )
+            else:
+                parts.append(f"{t.label} waits to join its children")
+        self.abort_exc = TetraDeadlockError(
+            "deadlock detected — every thread is blocked: " + "; ".join(parts),
+            cycle=tuple(parts),
+        )
+        self.cv.notify_all()
+
+    def _yield_turn(self, record: CoopThread) -> None:
+        """Complete this thread's turn and hand out the next (cv held)."""
+        if self.turn_holder == record.id:
+            self.turn_holder = None
+        self._schedule_turn()
+
+    def _wait_for_turn(self, record: CoopThread) -> None:
+        """Block (cv held) until this thread is granted a fresh turn."""
+        while True:
+            if self.abort_exc is not None:
+                raise self.abort_exc
+            if (self.turn_holder == record.id and record.has_fresh_turn
+                    and record.state == READY):
+                record.has_fresh_turn = False  # consume
+                return
+            self.cv.wait()
+
+    # -- hooks called by the backend -------------------------------------
+    def checkpoint(self, ctx, span: Span) -> None:
+        """Called before each statement.  Consumes one turn per statement."""
+        with self.cv:
+            record = self.threads[ctx.id]
+            record.current_span = span
+            self.statements_run[ctx.id] += 1
+            if record.has_fresh_turn:
+                # A turn was granted while this thread was starting up or
+                # mid-transition; it pays for this statement.
+                record.has_fresh_turn = False
+                return
+            self._yield_turn(record)
+            self._wait_for_turn(record)
+
+    def thread_started(self, ctx) -> None:
+        """Spawned threads run straight to their first checkpoint and park
+        there; nothing to do (kept for backend symmetry)."""
+
+    def thread_finished(self, ctx, error: BaseException | None) -> None:
+        with self.cv:
+            record = self.threads[ctx.id]
+            record.state = FINISHED
+            record.error = error
+            record.has_fresh_turn = False
+            if isinstance(self.policy, ScriptPolicy):
+                self.policy.finished_ids.add(record.id)
+            parent = record.parent
+            if (parent is not None and parent.state == BLOCKED_JOIN
+                    and parent.join_group and record.id in parent.join_group):
+                parent.join_group.discard(record.id)
+                if not parent.join_group:
+                    parent.join_group = None
+                    parent.state = READY
+            self._yield_turn(record)
+
+    def block_for_join(self, ctx, child_ids: Sequence[int]) -> None:
+        with self.cv:
+            record = self.threads[ctx.id]
+            pending = {
+                cid for cid in child_ids
+                if self.threads[cid].state != FINISHED
+            }
+            if not pending:
+                return
+            record.join_group = pending
+            record.state = BLOCKED_JOIN
+            record.has_fresh_turn = False
+            self._yield_turn(record)
+            # Resuming after the join costs one turn.
+            self._wait_for_turn(record)
+            self.turn_holder = record.id  # hold it while finishing the join
+
+    def acquire_lock(self, ctx, name: str, span: Span) -> None:
+        with self.cv:
+            record = self.threads[ctx.id]
+            owner = self.lock_owner.get(name)
+            if owner == ctx.id:
+                raise TetraDeadlockError(
+                    f"{record.label} tried to enter 'lock {name}:' while "
+                    "already inside it — Tetra locks are not re-entrant",
+                    span,
+                )
+            if owner is None:
+                self.lock_owner[name] = ctx.id
+                return
+            self.lock_waiters.setdefault(name, deque()).append(ctx.id)
+            record.state = BLOCKED_LOCK
+            record.waiting_lock = name
+            record.has_fresh_turn = False
+            self._yield_turn(record)
+            # Resuming with the lock costs one turn.
+            self._wait_for_turn(record)
+            record.waiting_lock = None
+            self.turn_holder = record.id
+
+    def release_lock(self, ctx, name: str) -> None:
+        with self.cv:
+            del self.lock_owner[name]
+            waiters = self.lock_waiters.get(name)
+            if waiters:
+                next_id = waiters.popleft()
+                self.lock_owner[name] = next_id
+                self.threads[next_id].state = READY
+
+    # -- controller API (the debugger) ------------------------------------
+    def wait_until_paused(self, timeout: float = 10.0) -> None:
+        """Block the controller until no Tetra thread can run."""
+        with self.cv:
+            ok = self.cv.wait_for(
+                lambda: (self.abort_exc is not None
+                         or (self.turn_holder is None
+                             and not self._eligible())),
+                timeout=timeout,
+            )
+            if not ok:  # pragma: no cover - only on interpreter bugs
+                raise TetraThreadError("cooperative scheduler failed to pause")
+
+    def grant(self, thread_id: int, steps: int = 1) -> None:
+        """Let ``thread_id`` run ``steps`` turns (manual mode)."""
+        with self.cv:
+            record = self.threads.get(thread_id)
+            if record is None:
+                raise TetraThreadError(f"no thread with id {thread_id}")
+            if record.state == FINISHED:
+                raise TetraThreadError(f"{record.label} has already finished")
+            if record.state != READY:
+                raise TetraThreadError(f"{record.label} is {record.state}")
+            record.budget += steps
+            self._schedule_turn()
+
+    def snapshot(self) -> list[CoopThread]:
+        with self.cv:
+            return list(self.threads.values())
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+class CoopBackend(Backend):
+    """Deterministic cooperative execution (see module docstring)."""
+
+    name = "coop"
+
+    def __init__(self, policy: SchedulerPolicy | None = None,
+                 config: RuntimeConfig | None = None):
+        super().__init__(config)
+        self.scheduler = CoopScheduler(policy or RoundRobinPolicy())
+        self._background: list[threading.Thread] = []
+        self._background_ctxs: list[object] = []
+        #: Thread id → interpreter ThreadContext; the debugger reads call
+        #: stacks and variable snapshots through this while threads are paused.
+        self.contexts: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, ctx, node) -> None:
+        self.scheduler.checkpoint(ctx, node.span)
+
+    def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
+                    span: Span = NO_SPAN) -> None:
+        sched = self.scheduler
+        threads: list[threading.Thread] = []
+        records = []
+
+        def runner(child_ctx, thunk) -> None:
+            error: BaseException | None = None
+            try:
+                sched.thread_started(child_ctx)
+                thunk()
+            except BaseException as exc:  # noqa: BLE001 - stored and re-raised
+                error = exc
+            finally:
+                sched.thread_finished(child_ctx, error)
+
+        for child_ctx, thunk in jobs:
+            self.contexts[child_ctx.id] = child_ctx
+            records.append(sched.register(child_ctx, parent_id=ctx.id))
+            thread = threading.Thread(
+                target=runner, args=(child_ctx, thunk),
+                name=child_ctx.label, daemon=False,
+            )
+            threads.append(thread)
+            thread.start()
+
+        if join:
+            sched.block_for_join(ctx, [child_ctx.id for child_ctx, _ in jobs])
+            for thread in threads:
+                thread.join()
+            for record in records:
+                if record.error is not None:
+                    exc = record.error
+                    if isinstance(exc, TetraError):
+                        raise exc
+                    raise TetraThreadError(
+                        f"{record.label} failed with {type(exc).__name__}: {exc}",
+                        span,
+                    ) from exc
+        else:
+            self._background.extend(threads)
+            self._background_ctxs.extend(records)
+
+    def parallel_for_workers(self, n_items: int) -> int:
+        workers = self.config.num_workers or 4
+        return max(1, min(workers, n_items))
+
+    def lock(self, ctx, name: str, body: Callable[[], None],
+             span: Span = NO_SPAN) -> None:
+        self.scheduler.acquire_lock(ctx, name, span)
+        try:
+            body()
+        finally:
+            self.scheduler.release_lock(ctx, name)
+
+    def start_program(self, root_ctx) -> None:
+        self.contexts[root_ctx.id] = root_ctx
+        self.scheduler.register(root_ctx)
+
+    def finish_program(self, root_ctx) -> None:
+        # The root must keep scheduling others while it waits, so park it as
+        # join-blocked on any background threads that are still live.
+        if self._background and self.config.wait_for_background:
+            root_record = self.scheduler.threads[root_ctx.id]
+            for record in self._background_ctxs:
+                record.parent = root_record
+            self.scheduler.block_for_join(
+                root_ctx, [r.id for r in self._background_ctxs]
+            )
+            for thread in self._background:
+                thread.join()
+            for record in self._background_ctxs:
+                if record.error is not None and isinstance(record.error, TetraError):
+                    raise record.error
+        self.scheduler.thread_finished(root_ctx, None)

@@ -1,0 +1,97 @@
+"""Environments: the interpreter's shared and private symbol tables.
+
+The paper (§IV): "Because of the way threads are created dynamically, they
+have private and shared symbol tables."  Concretely:
+
+* Each function activation owns a :class:`Frame` — a flat name→value table.
+* Threads spawned by ``parallel`` / ``background`` blocks *share* the
+  spawning activation's frame, which is how Figure II's two parallel
+  assignments to ``a`` and ``b`` are visible after the join.
+* Each ``parallel for`` worker gets an :class:`Environment` layering a small
+  *private* table (holding the induction variable) over the shared frame.
+
+Mutation of a shared frame from several threads is exactly the data-race
+surface the language is designed to teach about; the frame itself is a dict,
+whose individual get/set operations are atomic under CPython, so races stay
+at the Tetra-program level instead of corrupting the interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import TetraInternalError
+from .values import Value
+
+
+class Frame:
+    """One function activation's variables (the shared symbol table)."""
+
+    __slots__ = ("function_name", "vars", "depth")
+
+    def __init__(self, function_name: str, depth: int = 0):
+        self.function_name = function_name
+        self.vars: dict[str, Value] = {}
+        self.depth = depth
+
+    def __repr__(self) -> str:
+        return f"Frame({self.function_name}, {sorted(self.vars)})"
+
+
+class Environment:
+    """A view of a frame, optionally with thread-private bindings on top.
+
+    Reads check the private table first; writes go to the private table only
+    for names already private (the induction variable), otherwise to the
+    shared frame — so a worker's loop variable never leaks, while ordinary
+    assignments behave like the paper's shared-memory model.
+    """
+
+    __slots__ = ("frame", "private")
+
+    def __init__(self, frame: Frame, private: dict[str, Value] | None = None):
+        self.frame = frame
+        self.private = private if private is not None else {}
+
+    def child_with_private(self, bindings: dict[str, Value]) -> "Environment":
+        """A new view over the same frame with extra private bindings
+        (layered: nested ``parallel for`` loops stack their variables)."""
+        merged = dict(self.private)
+        merged.update(bindings)
+        return Environment(self.frame, merged)
+
+    def get(self, name: str) -> Value:
+        if name in self.private:
+            return self.private[name]
+        try:
+            return self.frame.vars[name]
+        except KeyError:
+            # The checker guarantees definition-before-use; if control flow
+            # reaches a read first anyway (e.g. a branch skipped the
+            # assignment), that is a checker/interpreter disagreement.
+            raise TetraInternalError(
+                f"variable '{name}' read before any assignment in "
+                f"{self.frame.function_name}"
+            ) from None
+
+    def set(self, name: str, value: Value) -> None:
+        if name in self.private:
+            self.private[name] = value
+        else:
+            self.frame.vars[name] = value
+
+    def has(self, name: str) -> bool:
+        return name in self.private or name in self.frame.vars
+
+    def names(self) -> Iterator[str]:
+        seen = set(self.private)
+        yield from self.private
+        for name in self.frame.vars:
+            if name not in seen:
+                yield name
+
+    def snapshot(self) -> dict[str, Value]:
+        """Current visible bindings (debugger variable pane)."""
+        merged = dict(self.frame.vars)
+        merged.update(self.private)
+        return merged

@@ -1,0 +1,142 @@
+"""Named locks for ``lock <name>:`` blocks, with deadlock *detection*.
+
+The paper maps lock statements onto Pthread mutexes; lock names live in
+their own namespace.  A plain mutex, though, punishes a student's two most
+common mistakes with a silent hang:
+
+* re-entering a lock the same thread already holds (nested ``lock a:``), and
+* acquiring two locks in opposite orders from two threads.
+
+Both are exactly the phenomena Tetra exists to teach, so this table turns
+them into a :class:`~repro.errors.TetraDeadlockError` that names the threads
+and locks in the cycle.  Detection uses the classic wait-for graph: thread →
+lock it waits on → owner thread → ...; a cycle back to the start is a
+deadlock.  Waiting threads poll with a short timeout so a cycle formed
+*after* they blocked is still found.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import TetraDeadlockError
+from ..source import NO_SPAN, Span
+
+#: Identifies a Tetra thread in the wait-for graph.  Thread backends use the
+#: OS thread ident; the debugger's cooperative backend uses its own ids.
+ThreadKey = object
+
+
+@dataclass
+class LockStats:
+    """Per-lock counters surfaced by benchmarks and the debugger."""
+
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+
+
+class LockTable:
+    """All named locks of one running program."""
+
+    #: How often blocked threads wake up to re-check the wait-for graph.
+    POLL_INTERVAL = 0.02
+
+    def __init__(self) -> None:
+        self._monitor = threading.Lock()
+        self._locks: dict[str, threading.Lock] = {}
+        self._owners: dict[str, ThreadKey] = {}
+        self._owner_labels: dict[ThreadKey, str] = {}
+        self._waiting: dict[ThreadKey, str] = {}
+        self.stats: dict[str, LockStats] = {}
+
+    # ------------------------------------------------------------------
+    def register_thread(self, key: ThreadKey, label: str) -> None:
+        """Give a thread a human-readable name for deadlock messages."""
+        with self._monitor:
+            self._owner_labels[key] = label
+
+    def _label(self, key: ThreadKey) -> str:
+        return self._owner_labels.get(key, f"thread {key}")
+
+    def known_locks(self) -> list[str]:
+        with self._monitor:
+            return sorted(self._locks)
+
+    def holder_of(self, name: str) -> ThreadKey | None:
+        with self._monitor:
+            return self._owners.get(name)
+
+    # ------------------------------------------------------------------
+    def acquire(self, name: str, key: ThreadKey, span: Span = NO_SPAN) -> None:
+        with self._monitor:
+            lock = self._locks.setdefault(name, threading.Lock())
+            stats = self.stats.setdefault(name, LockStats())
+            owner = self._owners.get(name)
+            if owner == key:
+                raise TetraDeadlockError(
+                    f"{self._label(key)} tried to enter 'lock {name}:' while "
+                    f"already inside it — Tetra locks are not re-entrant, so "
+                    "this would wait forever",
+                    span,
+                )
+            if owner is not None:
+                stats.contended_acquisitions += 1
+            stats.acquisitions += 1
+            self._waiting[key] = name
+
+        try:
+            while not lock.acquire(timeout=self.POLL_INTERVAL):
+                cycle = self._find_cycle(key)
+                if cycle:
+                    raise TetraDeadlockError(
+                        self._cycle_message(cycle), span, cycle=tuple(cycle)
+                    )
+        finally:
+            with self._monitor:
+                self._waiting.pop(key, None)
+        with self._monitor:
+            self._owners[name] = key
+
+    def release(self, name: str, key: ThreadKey) -> None:
+        with self._monitor:
+            if self._owners.get(name) != key:
+                # Structured lock blocks make this unreachable from Tetra
+                # programs; guard against interpreter bugs anyway.
+                raise TetraDeadlockError(
+                    f"{self._label(key)} released 'lock {name}:' it does not hold"
+                )
+            del self._owners[name]
+            self._locks[name].release()
+
+    # ------------------------------------------------------------------
+    def _find_cycle(self, start: ThreadKey) -> list[str] | None:
+        """Walk thread→lock→owner edges from ``start``; return a readable
+        cycle description if it loops back."""
+        with self._monitor:
+            path: list[str] = []
+            current = start
+            visited: set = set()
+            while True:
+                lock_name = self._waiting.get(current)
+                if lock_name is None:
+                    return None
+                path.append(f"{self._label(current)} waits for 'lock {lock_name}'")
+                owner = self._owners.get(lock_name)
+                if owner is None:
+                    return None
+                path.append(f"'lock {lock_name}' is held by {self._label(owner)}")
+                if owner == start:
+                    return path
+                if owner in visited:
+                    return None  # a cycle not involving us; its members report it
+                visited.add(owner)
+                current = owner
+
+    @staticmethod
+    def _cycle_message(cycle: list[str]) -> str:
+        chain = "; ".join(cycle)
+        return (
+            "deadlock detected — these threads are waiting for each other in "
+            f"a cycle: {chain}. Acquire locks in a consistent order to avoid this."
+        )

@@ -1,0 +1,261 @@
+"""The model multicore machine: schedules a recorded task graph.
+
+A deterministic discrete-event simulation places tasks from a
+:class:`~repro.runtime.taskgraph.Task` tree onto ``cores`` model cores:
+
+* Greedy, non-preemptive list scheduling (FIFO ready queue) — the classic
+  Graham-style scheduler whose makespan is within 2× of optimal and matches
+  how an OS schedules CPU-bound threads closely enough for speedup shapes.
+* Lock constraints serialize critical sections (FIFO per lock).
+* A *sharing tax* inflates work while several cores are busy, modelling the
+  contention on shared interpreter structures the paper blames for its
+  62.5% efficiency.
+
+Determinism: ties break on task creation order, so a given trace and core
+count always yield the same makespan — a property the test suite pins down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import TetraDeadlockError
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .taskgraph import Acquire, Fork, Release, Task, Work
+
+
+@dataclass
+class TaskRun:
+    """Mutable per-task scheduling state."""
+
+    task: Task
+    pc: int = 0                      # index into task.items
+    core: int | None = None          # core currently held (for the timeline)
+    parent: "TaskRun | None" = None
+    #: Ids of the children the current join is waiting on (None otherwise).
+    #: Tracked per fork so a finished *background* child can never satisfy
+    #: an unrelated join.
+    join_group: "set[int] | None" = None
+    waiting_join: bool = False
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One contiguous run of a task on a core (for Gantt rendering)."""
+
+    core: int
+    start: float
+    end: float
+    task_id: int
+    label: str
+
+
+@dataclass
+class ScheduleResult:
+    """Everything a benchmark wants to report about one simulated run."""
+
+    cores: int
+    makespan: float
+    total_work: int
+    task_count: int
+    critical_path: int
+    core_busy_time: float
+    lock_wait_time: float = 0.0
+    per_task_finish: dict[int, float] = field(default_factory=dict)
+    timeline: list[TimelineSegment] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of core-seconds spent computing (0..1)."""
+        if self.makespan <= 0:
+            return 1.0
+        return self.core_busy_time / (self.makespan * self.cores)
+
+    def speedup_against(self, baseline: "ScheduleResult") -> float:
+        if self.makespan <= 0:
+            return float("inf")
+        return baseline.makespan / self.makespan
+
+    def efficiency_against(self, baseline: "ScheduleResult") -> float:
+        return self.speedup_against(baseline) / self.cores
+
+
+class Machine:
+    """A model multicore executing one recorded task graph."""
+
+    def __init__(self, cores: int, cost_model: CostModel = DEFAULT_COST_MODEL):
+        if cores < 1:
+            raise ValueError("a machine needs at least one core")
+        self.cores = cores
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    def run(self, root: Task) -> ScheduleResult:
+        runs: dict[int, TaskRun] = {t.id: TaskRun(t) for t in root.walk()}
+        # Wire parent pointers for join bookkeeping.
+        for task in root.walk():
+            for item in task.items:
+                if isinstance(item, Fork):
+                    for child in item.children:
+                        runs[child.id].parent = runs[task.id]
+
+        clock = 0.0
+        seq = 0
+        ready: deque[TaskRun] = deque([runs[root.id]])
+        running: list[tuple[float, int, TaskRun]] = []  # heap of work-finish events
+        cores_busy = 0
+        free_cores = list(range(self.cores))
+        heapq.heapify(free_cores)
+        timeline: list[TimelineSegment] = []
+        live = 1  # spawned-and-unfinished tasks (root is live at start)
+        busy_time = 0.0
+        lock_wait_time = 0.0
+        lock_owner: dict[str, TaskRun] = {}
+        lock_waiters: dict[str, deque[tuple[TaskRun, float]]] = {}
+        unfinished = len(runs)
+
+        tax = self.cost_model.sharing_tax_percent / 100.0
+
+        def work_duration(units: int) -> float:
+            """Inflate work by the sharing tax while several cores are busy."""
+            active = max(1, min(live, self.cores))
+            return units * (1.0 + tax * (active - 1))
+
+        def advance(run: TaskRun) -> bool:
+            """Advance ``run`` while it holds a core.  Returns True if it is
+            still running (a work-finish event was scheduled); False if it
+            blocked or finished (core released by caller)."""
+            nonlocal seq, live, unfinished, busy_time
+            while run.pc < len(run.task.items):
+                item = run.task.items[run.pc]
+                if isinstance(item, Work):
+                    duration = work_duration(item.units)
+                    busy_time += duration
+                    seq += 1
+                    timeline.append(TimelineSegment(
+                        run.core if run.core is not None else -1,
+                        clock, clock + duration, run.task.id, run.task.label,
+                    ))
+                    heapq.heappush(running, (clock + duration, seq, run))
+                    return True
+                if isinstance(item, Acquire):
+                    owner = lock_owner.get(item.name)
+                    if owner is None:
+                        lock_owner[item.name] = run
+                        run.pc += 1
+                        continue
+                    lock_waiters.setdefault(item.name, deque()).append((run, clock))
+                    return False
+                if isinstance(item, Release):
+                    del lock_owner[item.name]
+                    waiters = lock_waiters.get(item.name)
+                    if waiters:
+                        next_run, since = waiters.popleft()
+                        nonlocal_lock_wait(clock - since)
+                        lock_owner[item.name] = next_run
+                        next_run.pc += 1  # past its Acquire
+                        ready.append(next_run)
+                    run.pc += 1
+                    continue
+                if isinstance(item, Fork):
+                    run.pc += 1
+                    for child in item.children:
+                        child_run = runs[child.id]
+                        live += 1
+                        ready.append(child_run)
+                    if item.join:
+                        pending = {
+                            c.id for c in item.children
+                            if not runs[c.id].finished
+                        }
+                        if pending:
+                            run.join_group = pending
+                            run.waiting_join = True
+                            return False
+                    continue
+                raise AssertionError(f"unknown trace item {item!r}")
+            # Trace exhausted: the task is done.
+            run.finished_at = clock
+            live -= 1
+            unfinished -= 1
+            parent = run.parent
+            if (parent is not None and parent.waiting_join
+                    and parent.join_group and run.task.id in parent.join_group):
+                parent.join_group.discard(run.task.id)
+                if not parent.join_group:
+                    parent.join_group = None
+                    parent.waiting_join = False
+                    ready.append(parent)
+            return False
+
+        def nonlocal_lock_wait(amount: float) -> None:
+            nonlocal lock_wait_time
+            lock_wait_time += amount
+
+        while True:
+            # Fill free cores from the ready queue.
+            while ready and cores_busy < self.cores:
+                run = ready.popleft()
+                if run.started_at is None:
+                    run.started_at = clock
+                cores_busy += 1
+                run.core = heapq.heappop(free_cores)
+                if not advance(run):
+                    cores_busy -= 1
+                    heapq.heappush(free_cores, run.core)
+                    run.core = None
+            if not running:
+                break
+            finish_time, _, run = heapq.heappop(running)
+            clock = finish_time
+            run.pc += 1  # past the Work item that just completed
+            if not advance(run):
+                cores_busy -= 1
+                heapq.heappush(free_cores, run.core)
+                run.core = None
+
+        if unfinished:
+            stuck = sorted(
+                r.task.label for r in runs.values() if not r.finished
+            )
+            raise TetraDeadlockError(
+                "the simulated machine wedged: tasks "
+                + ", ".join(stuck)
+                + " can never run — two threads acquire the same locks in "
+                "opposite orders"
+            )
+
+        return ScheduleResult(
+            cores=self.cores,
+            makespan=clock,
+            total_work=root.subtree_work(),
+            task_count=root.task_count(),
+            critical_path=root.critical_path(),
+            core_busy_time=busy_time,
+            lock_wait_time=lock_wait_time,
+            per_task_finish={
+                tid: run.finished_at for tid, run in runs.items()
+                if run.finished_at is not None
+            },
+            timeline=timeline,
+        )
+
+
+def speedup_curve(root: Task, core_counts: list[int],
+                  cost_model: CostModel = DEFAULT_COST_MODEL
+                  ) -> dict[int, ScheduleResult]:
+    """Schedule the same trace on machines of several widths.
+
+    The 1-core baseline, if absent from ``core_counts``, is added — speedup
+    and efficiency are conventionally reported against it.
+    """
+    counts = sorted(set(core_counts) | {1})
+    return {m: Machine(m, cost_model).run(root) for m in counts}

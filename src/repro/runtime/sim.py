@@ -1,0 +1,93 @@
+"""The virtual-time backend: record once, schedule on any machine width.
+
+``SimBackend`` executes the program *sequentially* (so it is deterministic
+and runs fine on a 1-core host) while charging every interpreted operation
+to the would-be thread that performs it, producing a task graph.  The graph
+is then placed on a :class:`~repro.runtime.machine.Machine` of any core
+count to obtain virtual makespans — the substitution that regenerates the
+paper's 8-core speedup evaluation (DESIGN.md §2, §4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import TetraDeadlockError
+from ..source import NO_SPAN, Span
+from .backend import Backend, Job, RuntimeConfig
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .machine import Machine, ScheduleResult, speedup_curve
+from .taskgraph import Task, TraceRecorder
+
+
+class SimBackend(Backend):
+    """Sequential execution + task-graph recording + machine-model timing."""
+
+    accounting = True
+    name = "sim"
+
+    def __init__(self, cores: int = 8, cost_model: CostModel = DEFAULT_COST_MODEL,
+                 config: RuntimeConfig | None = None):
+        super().__init__(config)
+        self.cores = cores
+        self.cost_model = cost_model
+        self.recorder = TraceRecorder()
+
+    # ------------------------------------------------------------------
+    # Recording hooks
+    # ------------------------------------------------------------------
+    def charge(self, ctx, units: int) -> None:
+        self.recorder.charge(units)
+
+    def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
+                    span: Span = NO_SPAN) -> None:
+        cm = self.cost_model
+        self.recorder.charge(cm.thread_spawn * len(jobs))
+        children = self.recorder.begin_fork(
+            [child_ctx.label for child_ctx, _ in jobs], join
+        )
+        for child_task, (_child_ctx, thunk) in zip(children, jobs):
+            self.recorder.enter_child(child_task)
+            try:
+                thunk()
+            finally:
+                self.recorder.exit_child()
+        if join:
+            self.recorder.charge(cm.thread_join * len(jobs))
+
+    def parallel_for_workers(self, n_items: int) -> int:
+        workers = self.config.num_workers or self.cores
+        return max(1, min(workers, n_items))
+
+    def lock(self, ctx, name: str, body: Callable[[], None],
+             span: Span = NO_SPAN) -> None:
+        cm = self.cost_model
+        self.recorder.charge(cm.lock_acquire)
+        if not self.recorder.acquire(name):
+            raise TetraDeadlockError(
+                f"{ctx.label} re-entered 'lock {name}:' it already holds — "
+                "Tetra locks are not re-entrant",
+                span,
+            )
+        try:
+            body()
+        finally:
+            self.recorder.release(name)
+            self.recorder.charge(cm.lock_release)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> Task:
+        """The recorded task graph (valid after the program has run)."""
+        return self.recorder.root
+
+    def schedule(self, cores: int | None = None) -> ScheduleResult:
+        """Place the recorded graph on a machine of ``cores`` model cores."""
+        machine = Machine(cores or self.cores, self.cost_model)
+        return machine.run(self.trace)
+
+    def speedups(self, core_counts: list[int]) -> dict[int, ScheduleResult]:
+        """Schedule the same trace at several widths (1-core baseline added)."""
+        return speedup_curve(self.trace, core_counts, self.cost_model)

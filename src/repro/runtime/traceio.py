@@ -1,0 +1,105 @@
+"""Serialization of recorded task graphs.
+
+A :class:`~repro.runtime.taskgraph.Task` tree is plain data; this module
+round-trips it through JSON so a recorded workload can be archived,
+diffed in review, shared with students, or re-scheduled later on machines
+of different widths *without re-interpreting the program* (recording a
+large workload costs seconds; scheduling costs milliseconds).
+
+Used by ``tetra sim --save-trace/--load-trace`` and the benchmark suite's
+regression fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import TetraError
+from .taskgraph import Acquire, Fork, Release, Task, TraceItem, Work
+
+#: Format marker: bump on breaking layout changes.
+FORMAT = "tetra-trace/1"
+
+
+def _item_to_json(item: TraceItem) -> dict:
+    if isinstance(item, Work):
+        return {"work": item.units}
+    if isinstance(item, Acquire):
+        return {"acquire": item.name}
+    if isinstance(item, Release):
+        return {"release": item.name}
+    if isinstance(item, Fork):
+        return {
+            "fork": [_task_to_json(c) for c in item.children],
+            "join": item.join,
+        }
+    raise TypeError(f"unknown trace item {item!r}")
+
+
+def _task_to_json(task: Task) -> dict:
+    return {
+        "id": task.id,
+        "label": task.label,
+        "items": [_item_to_json(i) for i in task.items],
+    }
+
+
+def trace_to_json(root: Task) -> str:
+    """Serialize a task tree to a JSON string."""
+    return json.dumps(
+        {"format": FORMAT, "root": _task_to_json(root)},
+        indent=2,
+    )
+
+
+def _item_from_json(data: dict) -> TraceItem:
+    if "work" in data:
+        return Work(int(data["work"]))
+    if "acquire" in data:
+        return Acquire(str(data["acquire"]))
+    if "release" in data:
+        return Release(str(data["release"]))
+    if "fork" in data:
+        children = [_task_from_json(c) for c in data["fork"]]
+        return Fork(children, bool(data.get("join", True)))
+    raise TetraError(f"unrecognized trace item {sorted(data)!r}")
+
+
+def _task_from_json(data: dict) -> Task:
+    try:
+        task = Task(int(data["id"]), str(data["label"]))
+        task.items = [_item_from_json(i) for i in data["items"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TetraError(f"malformed trace data: {exc}") from exc
+    return task
+
+
+def trace_from_json(text: str) -> Task:
+    """Rebuild a task tree from :func:`trace_to_json` output.
+
+    Validates the format marker and id uniqueness so a stale or corrupted
+    file fails with a diagnostic instead of a wedged simulation.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TetraError(f"trace file is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise TetraError(
+            f"not a Tetra trace file (expected format {FORMAT!r})"
+        )
+    root = _task_from_json(data["root"])
+    ids = [t.id for t in root.walk()]
+    if len(ids) != len(set(ids)):
+        raise TetraError("trace file has duplicate task ids")
+    return root
+
+
+def save_trace(root: Task, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_json(root))
+
+
+def load_trace(path: str) -> Task:
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_json(handle.read())

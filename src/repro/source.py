@@ -1,0 +1,134 @@
+"""Source text handling: files, positions, and spans.
+
+Every token and AST node carries a :class:`Span` pointing back into a
+:class:`SourceFile`, so that diagnostics (lexer errors, type errors, runtime
+panics, debugger views) can show the offending line with a caret — an
+explicit design goal for an educational system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Position:
+    """A single point in a source file (1-based line, 1-based column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, ``[start, end)`` by offset.
+
+    ``line``/``column`` always refer to the start of the span.
+    """
+
+    start: int
+    end: int
+    line: int
+    column: int
+
+    @staticmethod
+    def point(offset: int, line: int, column: int) -> "Span":
+        return Span(offset, offset, line, column)
+
+    def merge(self, other: "Span") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        if other.start < self.start:
+            first = other
+        else:
+            first = self
+        return Span(
+            min(self.start, other.start),
+            max(self.end, other.end),
+            first.line,
+            first.column,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+#: Span used for synthesized nodes that have no source location.
+NO_SPAN = Span(0, 0, 0, 0)
+
+
+@dataclass
+class SourceFile:
+    """A named piece of Tetra source text.
+
+    Lines are indexed lazily; the class is cheap to construct from a string
+    (the common path for tests, the REPL, and embedded programs).
+    """
+
+    name: str
+    text: str
+    _line_starts: list[int] = field(default_factory=list, repr=False)
+
+    @staticmethod
+    def from_string(text: str, name: str = "<string>") -> "SourceFile":
+        return SourceFile(name=name, text=text)
+
+    @staticmethod
+    def from_path(path: str) -> "SourceFile":
+        with open(path, "r", encoding="utf-8") as handle:
+            return SourceFile(name=path, text=handle.read())
+
+    def _ensure_index(self) -> None:
+        if self._line_starts:
+            return
+        starts = [0]
+        for i, ch in enumerate(self.text):
+            if ch == "\n":
+                starts.append(i + 1)
+        self._line_starts = starts
+
+    @property
+    def line_count(self) -> int:
+        self._ensure_index()
+        return len(self._line_starts)
+
+    def line_text(self, line: int) -> str:
+        """The text of 1-based ``line`` without its trailing newline."""
+        self._ensure_index()
+        if not 1 <= line <= len(self._line_starts):
+            return ""
+        start = self._line_starts[line - 1]
+        end = self.text.find("\n", start)
+        if end < 0:
+            end = len(self.text)
+        return self.text[start:end]
+
+    def position_of(self, offset: int) -> Position:
+        """Translate a character offset into a line/column position."""
+        self._ensure_index()
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return Position(lo + 1, offset - self._line_starts[lo] + 1)
+
+    def caret_snippet(self, span: Span, width: int = 1) -> str:
+        """Render the line at ``span`` with a caret underneath.
+
+        Used by :class:`repro.errors.TetraError` to produce compiler-style
+        diagnostics::
+
+            3 |     return x * fact(x - 1
+              |                          ^
+        """
+        line = self.line_text(span.line)
+        gutter = str(span.line)
+        pad = " " * len(gutter)
+        caret_width = max(width, span.end - span.start, 1)
+        caret = " " * (span.column - 1) + "^" * min(caret_width, max(1, len(line) - span.column + 2))
+        return f"{gutter} | {line}\n{pad} | {caret}"

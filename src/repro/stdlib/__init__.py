@@ -1,0 +1,10 @@
+"""Tetra standard library: builtins registry plus I/O channels.
+
+The paper ships I/O and ``len``; everything else here implements the
+future-work library (math, strings, arrays, assertions, timing).
+"""
+
+from .io import CapturingIO, IOChannel, StandardIO
+from .registry import BUILTINS, Builtin, catalog
+
+__all__ = ["CapturingIO", "IOChannel", "StandardIO", "BUILTINS", "Builtin", "catalog"]

@@ -1,0 +1,165 @@
+"""Array builtins: aggregation and manipulation helpers.
+
+These are deliberately *functions over arrays* rather than methods — Tetra
+has no classes (yet; the paper lists them as future work), so the library
+mirrors the style of ``len``.
+
+``sort``/``reversed`` return new arrays; ``fill`` mutates in place.  The
+polymorphic rules ensure element types line up statically, so the runtime
+bodies can stay unchecked and fast.
+"""
+
+from __future__ import annotations
+
+from ..errors import TetraRuntimeError, TetraTypeError
+from ..types.types import (
+    BOOL,
+    INT,
+    REAL,
+    VOID,
+    ArrayType,
+    IntType,
+    RealType,
+    StringType,
+    Type,
+    is_assignable,
+)
+from ..runtime.values import TetraArray, deep_copy
+from .registry import polymorphic
+
+
+def _numeric_array_rule(name: str):
+    def rule(arg_types: tuple[Type, ...]) -> Type:
+        if (len(arg_types) != 1 or not isinstance(arg_types[0], ArrayType)
+                or not arg_types[0].element.is_numeric):
+            raise TetraTypeError(f"{name}() takes one array of numbers")
+        return arg_types[0].element
+
+    return rule
+
+
+@polymorphic("sum", _numeric_array_rule("sum"),
+             doc="sum(arr) — total of a numeric array (0 for empty [int])",
+             category="array")
+def _sum(args, io, span):
+    arr = args[0]
+    if isinstance(arr.element_type, RealType):
+        return float(sum(arr.items))
+    return sum(arr.items)
+
+
+def _ordered_array_rule(name: str, result: str):
+    def rule(arg_types: tuple[Type, ...]) -> Type:
+        if (len(arg_types) != 1 or not isinstance(arg_types[0], ArrayType)
+                or not isinstance(arg_types[0].element,
+                                  (IntType, RealType, StringType))):
+            raise TetraTypeError(
+                f"{name}() takes one array of ints, reals, or strings"
+            )
+        if result == "element":
+            return arg_types[0].element
+        return arg_types[0]
+
+    return rule
+
+
+@polymorphic("smallest", _ordered_array_rule("smallest", "element"),
+             doc="smallest(arr) — minimum element of a non-empty array",
+             category="array")
+def _smallest(args, io, span):
+    arr = args[0]
+    if not len(arr):
+        raise TetraRuntimeError("smallest() of an empty array", span)
+    return min(arr.items)
+
+
+@polymorphic("largest", _ordered_array_rule("largest", "element"),
+             doc="largest(arr) — maximum element of a non-empty array",
+             category="array")
+def _largest(args, io, span):
+    arr = args[0]
+    if not len(arr):
+        raise TetraRuntimeError("largest() of an empty array", span)
+    return max(arr.items)
+
+
+@polymorphic("sort", _ordered_array_rule("sort", "array"),
+             doc="sort(arr) — a new array with the elements in ascending order",
+             category="array")
+def _sort(args, io, span):
+    arr = args[0]
+    return TetraArray(sorted(arr.items), arr.element_type)
+
+
+def _any_array_rule(name: str, result: str):
+    def rule(arg_types: tuple[Type, ...]) -> Type:
+        if len(arg_types) != 1 or not isinstance(arg_types[0], ArrayType):
+            raise TetraTypeError(f"{name}() takes one array")
+        return arg_types[0] if result == "array" else arg_types[0].element
+
+    return rule
+
+
+@polymorphic("reversed", _any_array_rule("reversed", "array"),
+             doc="reversed(arr) — a new array with the elements backwards",
+             category="array")
+def _reversed(args, io, span):
+    arr = args[0]
+    return TetraArray(list(reversed(arr.items)), arr.element_type)
+
+
+def _fill_rule(arg_types: tuple[Type, ...]) -> Type:
+    if (len(arg_types) != 2 or not isinstance(arg_types[0], ArrayType)
+            or not is_assignable(arg_types[0].element, arg_types[1])):
+        raise TetraTypeError(
+            "fill() takes an array and a value of its element type"
+        )
+    return VOID
+
+
+@polymorphic("fill", _fill_rule,
+             doc="fill(arr, value) — set every element to value (in place)",
+             category="array")
+def _fill(args, io, span):
+    arr, value = args
+    widen = isinstance(arr.element_type, RealType) and isinstance(value, int)
+    fill_value = float(value) if widen else value
+    for i in range(len(arr.items)):
+        arr.items[i] = deep_copy(fill_value)
+    return None
+
+
+def _index_of_rule(arg_types: tuple[Type, ...]) -> Type:
+    if (len(arg_types) != 2 or not isinstance(arg_types[0], ArrayType)
+            or not is_assignable(arg_types[0].element, arg_types[1])):
+        raise TetraTypeError(
+            "index_of() takes an array and a value of its element type"
+        )
+    return INT
+
+
+@polymorphic("index_of", _index_of_rule,
+             doc="index_of(arr, value) — index of the first match, or -1",
+             category="array")
+def _index_of(args, io, span):
+    arr, value = args
+    for i, item in enumerate(arr.items):
+        if item == value:
+            return i
+    return -1
+
+
+def _concat_rule(arg_types: tuple[Type, ...]) -> Type:
+    if (len(arg_types) != 2
+            or not isinstance(arg_types[0], ArrayType)
+            or arg_types[0] != arg_types[1]):
+        raise TetraTypeError("concat() takes two arrays of the same type")
+    return arg_types[0]
+
+
+@polymorphic("concat", _concat_rule,
+             doc="concat(a, b) — a new array holding a's elements then b's",
+             category="array")
+def _concat(args, io, span):
+    a, b = args
+    return TetraArray(a.items + b.items, a.element_type)

@@ -1,0 +1,10 @@
+"""Monotonic time source, isolated so tests can patch one symbol."""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic_clock() -> float:
+    """Seconds from an arbitrary origin; only differences are meaningful."""
+    return time.perf_counter()

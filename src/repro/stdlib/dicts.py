@@ -1,0 +1,115 @@
+"""Dict builtins — companions to the associative-array type.
+
+``keys`` returns the keys **sorted**, matching dict iteration order, so
+programs that enumerate a dict behave identically on every backend and run.
+"""
+
+from __future__ import annotations
+
+from ..errors import TetraTypeError
+from ..types.types import BOOL, VOID, ArrayType, DictType, Type, is_assignable
+from ..runtime.values import TetraArray, TetraDict
+from .registry import polymorphic
+
+
+def _dict_only(name: str, arity: int, result):
+    """Type rule for builtins whose first argument must be a dict.
+
+    ``result`` is a callable from the DictType (and remaining arg types) to
+    the result type, or raises TetraTypeError.
+    """
+
+    def rule(arg_types: tuple[Type, ...]) -> Type:
+        if len(arg_types) != arity or not isinstance(arg_types[0], DictType):
+            raise TetraTypeError(
+                f"{name}() takes ({arity}) argument(s), the first a dict"
+            )
+        return result(arg_types)
+
+    return rule
+
+
+def _key_arg_rule(name: str, ret):
+    def result(arg_types: tuple[Type, ...]) -> Type:
+        d = arg_types[0]
+        assert isinstance(d, DictType)
+        if arg_types[1] != d.key:
+            raise TetraTypeError(
+                f"{name}(): this dict is keyed by {d.key}, "
+                f"not {arg_types[1]}"
+            )
+        return ret(d)
+
+    return result
+
+
+@polymorphic(
+    "keys",
+    _dict_only("keys", 1, lambda ts: ArrayType(ts[0].key)),
+    doc="keys(d) — the dict's keys as a sorted array",
+    category="dict",
+)
+def _keys(args, io, span):
+    d: TetraDict = args[0]
+    return TetraArray(d.sorted_keys(), d.key_type)
+
+
+@polymorphic(
+    "values",
+    _dict_only("values", 1, lambda ts: ArrayType(ts[0].value)),
+    doc="values(d) — the dict's values, in sorted-key order",
+    category="dict",
+)
+def _values(args, io, span):
+    d: TetraDict = args[0]
+    return TetraArray([d.items[k] for k in d.sorted_keys()], d.value_type)
+
+
+@polymorphic(
+    "has_key",
+    _dict_only("has_key", 2, _key_arg_rule("has_key", lambda d: BOOL)),
+    doc="has_key(d, k) — whether k is present in the dict",
+    category="dict",
+)
+def _has_key(args, io, span):
+    return args[1] in args[0].items
+
+
+@polymorphic(
+    "remove_key",
+    _dict_only("remove_key", 2, _key_arg_rule("remove_key", lambda d: VOID)),
+    doc="remove_key(d, k) — delete an entry (error if k is absent)",
+    category="dict",
+)
+def _remove_key(args, io, span):
+    args[0].remove(args[1], span)
+    return None
+
+
+def _get_or_rule(arg_types: tuple[Type, ...]) -> Type:
+    if len(arg_types) != 3 or not isinstance(arg_types[0], DictType):
+        raise TetraTypeError("get_or() takes (dict, key, default)")
+    d = arg_types[0]
+    if arg_types[1] != d.key:
+        raise TetraTypeError(
+            f"get_or(): this dict is keyed by {d.key}, not {arg_types[1]}"
+        )
+    if not is_assignable(d.value, arg_types[2]):
+        raise TetraTypeError(
+            f"get_or(): the default must be a {d.value}, not {arg_types[2]}"
+        )
+    return d.value
+
+
+@polymorphic(
+    "get_or", _get_or_rule,
+    doc="get_or(d, k, default) — d[k] if present, otherwise default",
+    category="dict",
+)
+def _get_or(args, io, span):
+    d: TetraDict = args[0]
+    from ..runtime.values import coerce_to
+
+    if args[1] in d.items:
+        return d.items[args[1]]
+    return coerce_to(args[2], d.value_type)

@@ -1,0 +1,91 @@
+"""I/O channels: where ``print`` goes and where ``read_*`` come from.
+
+The paper's IDE directs "program input and output ... to a console pane";
+headless tooling and tests need the same indirection.  An
+:class:`IOChannel` is shared by every thread of a program, so writes are
+serialized — one ``print`` call emits one atomic chunk even when eight
+threads print at once (interleaving *between* calls is still real and
+observable, which is the teachable part).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import deque
+from typing import Iterable
+
+from ..errors import TetraIOError
+from ..source import NO_SPAN, Span
+
+
+class IOChannel:
+    """Abstract console: a byte sink and a line source."""
+
+    def write(self, text: str) -> None:
+        raise NotImplementedError
+
+    def read_line(self, span: Span = NO_SPAN) -> str:
+        raise NotImplementedError
+
+
+class StandardIO(IOChannel):
+    """Real stdin/stdout (the ``tetra run`` command-line driver)."""
+
+    def __init__(self) -> None:
+        self._write_lock = threading.Lock()
+
+    def write(self, text: str) -> None:
+        with self._write_lock:
+            sys.stdout.write(text)
+            sys.stdout.flush()
+
+    def read_line(self, span: Span = NO_SPAN) -> str:
+        line = sys.stdin.readline()
+        if line == "":
+            raise TetraIOError("end of input while reading", span)
+        return line.rstrip("\n")
+
+
+class CapturingIO(IOChannel):
+    """In-memory console for tests, the IDE pane, and embedded use.
+
+    ``inputs`` pre-loads the lines ``read_*`` builtins will consume;
+    :attr:`output` accumulates everything printed, and :meth:`lines` splits
+    it for assertions.
+    """
+
+    def __init__(self, inputs: Iterable[str] = ()):
+        self._write_lock = threading.Lock()
+        self._chunks: list[str] = []
+        self._inputs: deque[str] = deque(inputs)
+
+    def write(self, text: str) -> None:
+        with self._write_lock:
+            self._chunks.append(text)
+
+    def read_line(self, span: Span = NO_SPAN) -> str:
+        try:
+            return self._inputs.popleft()
+        except IndexError:
+            raise TetraIOError(
+                "the program asked for input but none was provided", span
+            ) from None
+
+    def push_input(self, line: str) -> None:
+        self._inputs.append(line)
+
+    @property
+    def output(self) -> str:
+        with self._write_lock:
+            return "".join(self._chunks)
+
+    def lines(self) -> list[str]:
+        text = self.output
+        if text.endswith("\n"):
+            text = text[:-1]
+        return text.split("\n") if text else []
+
+    def clear(self) -> None:
+        with self._write_lock:
+            self._chunks.clear()

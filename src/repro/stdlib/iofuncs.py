@@ -1,0 +1,74 @@
+"""I/O builtins — the part of the standard library the paper ships.
+
+``print`` is variadic over any types and appends a newline; ``read_int`` /
+``read_real`` / ``read_string`` / ``read_bool`` consume one line of input
+each (Figure I: ``n = read_int()``).
+"""
+
+from __future__ import annotations
+
+from ..errors import TetraIOError, TetraTypeError
+from ..types.types import BOOL, INT, REAL, STRING, VOID, Type
+from ..runtime.values import display
+from .registry import polymorphic
+
+
+def _any_args(name: str):
+    def rule(arg_types: tuple[Type, ...]) -> Type:
+        return VOID
+
+    return rule
+
+
+def _no_args(name: str, ret: Type):
+    def rule(arg_types: tuple[Type, ...]) -> Type:
+        if arg_types:
+            raise TetraTypeError(f"{name}() takes no arguments")
+        return ret
+
+    return rule
+
+
+@polymorphic("print", _any_args("print"),
+             doc="print(values...) — write values followed by a newline",
+             category="io")
+def _print(args, io, span):
+    io.write("".join(display(a) for a in args) + "\n")
+    return None
+
+
+@polymorphic("read_int", _no_args("read_int", INT),
+             doc="read_int() — read one line as an int", category="io")
+def _read_int(args, io, span):
+    line = io.read_line(span).strip()
+    try:
+        return int(line, 10)
+    except ValueError:
+        raise TetraIOError(f"expected an int but got {line!r}", span) from None
+
+
+@polymorphic("read_real", _no_args("read_real", REAL),
+             doc="read_real() — read one line as a real", category="io")
+def _read_real(args, io, span):
+    line = io.read_line(span).strip()
+    try:
+        return float(line)
+    except ValueError:
+        raise TetraIOError(f"expected a real but got {line!r}", span) from None
+
+
+@polymorphic("read_string", _no_args("read_string", STRING),
+             doc="read_string() — read one line as a string", category="io")
+def _read_string(args, io, span):
+    return io.read_line(span)
+
+
+@polymorphic("read_bool", _no_args("read_bool", BOOL),
+             doc="read_bool() — read one line as true/false", category="io")
+def _read_bool(args, io, span):
+    line = io.read_line(span).strip().lower()
+    if line == "true":
+        return True
+    if line == "false":
+        return False
+    raise TetraIOError(f"expected true or false but got {line!r}", span)

@@ -1,0 +1,120 @@
+"""The builtin-function registry: the bridge between checker and runtime.
+
+A :class:`Builtin` owns both halves of a standard-library function: the
+static half (``check_types``: argument types → result type, raising
+:class:`~repro.errors.TetraTypeError` on misuse) and the dynamic half
+(``invoke``: values → value).  The type checker consults the registry by
+name; the interpreter and the compiled-code runtime call ``invoke``.
+
+The paper ships only "basic I/O functions and functions for finding the
+lengths of strings and arrays"; the richer math/string/array library listed
+under future work is implemented here too (see the sibling modules), each
+function registering itself through :func:`builtin` / :func:`register`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import TetraTypeError
+from ..source import NO_SPAN, Span
+from ..types.types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    VOID,
+    ArrayType,
+    Type,
+    is_assignable,
+)
+from ..runtime.values import Value
+from .io import IOChannel
+
+#: Signature of a builtin's implementation.  ``io`` is the program console,
+#: ``span`` the call site (for runtime error locations).
+Impl = Callable[[list[Value], IOChannel, Span], Value]
+TypeRule = Callable[[tuple[Type, ...]], Type]
+
+
+@dataclass(frozen=True)
+class Builtin:
+    name: str
+    check_types: TypeRule
+    invoke: Impl
+    doc: str = ""
+    category: str = "core"
+
+
+#: The global registry, keyed by function name.
+BUILTINS: dict[str, Builtin] = {}
+
+
+def register(b: Builtin) -> Builtin:
+    if b.name in BUILTINS:
+        raise ValueError(f"builtin {b.name!r} registered twice")
+    BUILTINS[b.name] = b
+    return b
+
+
+def fixed_signature(name: str, params: Sequence[Type], ret: Type) -> TypeRule:
+    """A conventional fixed-arity rule with int→real widening on arguments."""
+
+    def rule(arg_types: tuple[Type, ...]) -> Type:
+        if len(arg_types) != len(params):
+            raise TetraTypeError(
+                f"{name}() takes {len(params)} argument(s), "
+                f"not {len(arg_types)}"
+            )
+        for i, (want, got) in enumerate(zip(params, arg_types)):
+            if not is_assignable(want, got):
+                raise TetraTypeError(
+                    f"argument {i + 1} of {name}() must be a {want}, "
+                    f"not a {got}"
+                )
+        return ret
+
+    return rule
+
+
+def builtin(name: str, params: Sequence[Type], ret: Type, doc: str = "",
+            category: str = "core") -> Callable[[Impl], Builtin]:
+    """Decorator for the common fixed-signature case::
+
+        @builtin("sqrt", [REAL], REAL, doc="square root")
+        def _sqrt(args, io, span):
+            return math.sqrt(args[0])
+    """
+
+    def wrap(impl: Impl) -> Builtin:
+        return register(
+            Builtin(name, fixed_signature(name, params, ret), impl, doc, category)
+        )
+
+    return wrap
+
+
+def polymorphic(name: str, rule: TypeRule, doc: str = "",
+                category: str = "core") -> Callable[[Impl], Builtin]:
+    """Decorator for builtins with bespoke type rules (len, print, sum...)."""
+
+    def wrap(impl: Impl) -> Builtin:
+        return register(Builtin(name, rule, impl, doc, category))
+
+    return wrap
+
+
+def catalog() -> list[Builtin]:
+    """All builtins sorted by category then name (docs and ``tetra help``)."""
+    return sorted(BUILTINS.values(), key=lambda b: (b.category, b.name))
+
+
+# Importing the implementation modules populates the registry.  They live in
+# separate files purely for organization; the registry is the public face.
+from . import arrays as _arrays  # noqa: E402,F401
+from . import corelib as _corelib  # noqa: E402,F401
+from . import dicts as _dicts  # noqa: E402,F401
+from . import iofuncs as _iofuncs  # noqa: E402,F401
+from . import mathlib as _mathlib  # noqa: E402,F401
+from . import strings as _strings  # noqa: E402,F401

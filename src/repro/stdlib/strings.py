@@ -1,0 +1,124 @@
+"""String builtins — the paper's future-work "string handling functions".
+
+Indexes are 0-based; ``substring`` uses a half-open ``[start, end)`` range
+and bounds-checks both ends (an educational language should fail loudly, not
+silently clamp the way Python slicing does).
+"""
+
+from __future__ import annotations
+
+from ..errors import TetraIndexError, TetraRuntimeError
+from ..types.types import BOOL, INT, STRING, ArrayType
+from ..runtime.values import TetraArray
+from .registry import builtin
+
+_STRING_ARRAY = ArrayType(STRING)
+
+
+@builtin("substring", [STRING, INT, INT], STRING,
+         doc="substring(s, start, end) — characters start..end-1",
+         category="string")
+def _substring(args, io, span):
+    s, start, end = args
+    if not (0 <= start <= end <= len(s)):
+        raise TetraIndexError(
+            f"substring({start}, {end}) is out of range for a string of "
+            f"length {len(s)}",
+            span,
+        )
+    return s[start:end]
+
+
+@builtin("find", [STRING, STRING], INT,
+         doc="find(s, needle) — index of the first occurrence, or -1",
+         category="string")
+def _find(args, io, span):
+    return args[0].find(args[1])
+
+
+@builtin("contains", [STRING, STRING], BOOL,
+         doc="contains(s, needle) — whether needle occurs in s",
+         category="string")
+def _contains(args, io, span):
+    return args[1] in args[0]
+
+
+@builtin("upper", [STRING], STRING, doc="upper(s) — uppercased copy",
+         category="string")
+def _upper(args, io, span):
+    return args[0].upper()
+
+
+@builtin("lower", [STRING], STRING, doc="lower(s) — lowercased copy",
+         category="string")
+def _lower(args, io, span):
+    return args[0].lower()
+
+
+@builtin("trim", [STRING], STRING,
+         doc="trim(s) — copy without leading/trailing whitespace",
+         category="string")
+def _trim(args, io, span):
+    return args[0].strip()
+
+
+@builtin("replace", [STRING, STRING, STRING], STRING,
+         doc="replace(s, old, new) — copy with every old replaced by new",
+         category="string")
+def _replace(args, io, span):
+    s, old, new = args
+    if old == "":
+        raise TetraRuntimeError("replace() cannot replace the empty string", span)
+    return s.replace(old, new)
+
+
+@builtin("split", [STRING, STRING], _STRING_ARRAY,
+         doc="split(s, sep) — pieces of s between occurrences of sep",
+         category="string")
+def _split(args, io, span):
+    s, sep = args
+    if sep == "":
+        raise TetraRuntimeError("split() separator must not be empty", span)
+    return TetraArray(s.split(sep), STRING)
+
+
+@builtin("join", [_STRING_ARRAY, STRING], STRING,
+         doc="join(parts, sep) — parts glued together with sep",
+         category="string")
+def _join(args, io, span):
+    parts, sep = args
+    return sep.join(parts.items)
+
+
+@builtin("starts_with", [STRING, STRING], BOOL,
+         doc="starts_with(s, prefix)", category="string")
+def _starts_with(args, io, span):
+    return args[0].startswith(args[1])
+
+
+@builtin("ends_with", [STRING, STRING], BOOL,
+         doc="ends_with(s, suffix)", category="string")
+def _ends_with(args, io, span):
+    return args[0].endswith(args[1])
+
+
+@builtin("char_code", [STRING], INT,
+         doc="char_code(c) — code point of a 1-character string",
+         category="string")
+def _char_code(args, io, span):
+    s = args[0]
+    if len(s) != 1:
+        raise TetraRuntimeError(
+            f"char_code() needs exactly one character, got {len(s)}", span
+        )
+    return ord(s)
+
+
+@builtin("char_from_code", [INT], STRING,
+         doc="char_from_code(n) — 1-character string for code point n",
+         category="string")
+def _char_from_code(args, io, span):
+    n = args[0]
+    if not 0 <= n <= 0x10FFFF:
+        raise TetraRuntimeError(f"{n} is not a valid character code", span)
+    return chr(n)

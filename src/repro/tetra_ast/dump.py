@@ -1,0 +1,50 @@
+"""Readable tree dumps of the AST (the ``tetra ast`` CLI subcommand).
+
+The format is indentation-structured and stable, so golden tests can assert
+against it; spans are optional to keep goldens robust against formatting
+changes in test sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from .nodes import Node
+
+
+def dump(node: Node, include_spans: bool = False, _depth: int = 0) -> str:
+    """Pretty-print an AST subtree, one node per line."""
+    pad = "  " * _depth
+    label = type(node).__name__
+    scalars: list[str] = []
+    child_lines: list[str] = []
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if f.name == "span":
+            if include_spans and value.line:
+                scalars.append(f"@{value.line}:{value.column}")
+            continue
+        if isinstance(value, Node):
+            child_lines.append(f"{pad}  {f.name}:")
+            child_lines.append(dump(value, include_spans, _depth + 2))
+        elif isinstance(value, list) and value and isinstance(value[0], Node):
+            child_lines.append(f"{pad}  {f.name}: [{len(value)}]")
+            for item in value:
+                child_lines.append(dump(item, include_spans, _depth + 2))
+        elif (isinstance(value, list) and value
+              and isinstance(value[0], tuple)
+              and all(isinstance(x, Node) for pair in value for x in pair)):
+            # Dict literal entries: list of (key, value) node pairs.
+            child_lines.append(f"{pad}  {f.name}: [{len(value)} pairs]")
+            for pair in value:
+                for node in pair:
+                    child_lines.append(dump(node, include_spans, _depth + 2))
+        elif isinstance(value, list) and not value:
+            continue
+        elif value is None:
+            continue
+        else:
+            rendered = value.name if hasattr(value, "name") and hasattr(value, "value") else repr(value)
+            scalars.append(f"{f.name}={rendered}")
+    head = f"{pad}{label}" + (f" {' '.join(scalars)}" if scalars else "")
+    return "\n".join([head, *child_lines]) if child_lines else head

@@ -1,0 +1,304 @@
+"""Turn an AST back into Tetra source text.
+
+The unparser is precedence-aware (it inserts the minimal parentheses needed)
+and is exercised by the property test that ``parse(unparse(p))`` is
+structurally equal to ``p`` — which pins down both this module and the
+parser against each other.
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    ArrayLiteral,
+    ArrayTypeExpr,
+    Assign,
+    Attribute,
+    AugAssign,
+    BackgroundBlock,
+    BinaryOp,
+    BinOp,
+    Block,
+    BoolLiteral,
+    Break,
+    Call,
+    ClassDef,
+    ClassTypeExpr,
+    Continue,
+    Declare,
+    DictLiteral,
+    DictTypeExpr,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    If,
+    Index,
+    IntLiteral,
+    LockStmt,
+    MethodCall,
+    Name,
+    ParallelBlock,
+    ParallelFor,
+    Pass,
+    PrimitiveTypeExpr,
+    Program,
+    RangeLiteral,
+    RealLiteral,
+    Return,
+    Stmt,
+    StringLiteral,
+    TryStmt,
+    TupleLiteral,
+    TupleTypeExpr,
+    TypeExpr,
+    Unary,
+    UnaryOp,
+    Unpack,
+    While,
+)
+
+#: Binding strength of each binary operator (higher binds tighter).
+BINARY_PRECEDENCE: dict[BinaryOp, int] = {
+    BinaryOp.OR: 1,
+    BinaryOp.AND: 2,
+    BinaryOp.EQ: 4,
+    BinaryOp.NE: 4,
+    BinaryOp.LT: 4,
+    BinaryOp.LE: 4,
+    BinaryOp.GT: 4,
+    BinaryOp.GE: 4,
+    BinaryOp.ADD: 5,
+    BinaryOp.SUB: 5,
+    BinaryOp.MUL: 6,
+    BinaryOp.DIV: 6,
+    BinaryOp.MOD: 6,
+    BinaryOp.POW: 8,
+}
+
+UNARY_PRECEDENCE: dict[UnaryOp, int] = {
+    UnaryOp.NOT: 3,
+    UnaryOp.NEG: 7,
+    UnaryOp.POS: 7,
+}
+
+#: ``**`` is right-associative; everything else is left-associative.
+RIGHT_ASSOCIATIVE = frozenset({BinaryOp.POW})
+
+_ATOM_PRECEDENCE = 10
+_STRING_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t", "\r": "\\r", "\0": "\\0"}
+
+
+def escape_string(value: str) -> str:
+    """Render a string literal body with Tetra escape sequences."""
+    return "".join(_STRING_ESCAPES.get(ch, ch) for ch in value)
+
+
+class Unparser:
+    def __init__(self, indent: str = "    "):
+        self.indent = indent
+        self.lines: list[str] = []
+
+    # -- types ----------------------------------------------------------
+    def type_text(self, t: TypeExpr) -> str:
+        if isinstance(t, PrimitiveTypeExpr):
+            return t.name
+        if isinstance(t, ArrayTypeExpr):
+            return f"[{self.type_text(t.element)}]"
+        if isinstance(t, DictTypeExpr):
+            return f"{{{self.type_text(t.key)}: {self.type_text(t.value)}}}"
+        if isinstance(t, TupleTypeExpr):
+            inner = ", ".join(self.type_text(e) for e in t.elements)
+            return f"({inner})"
+        if isinstance(t, ClassTypeExpr):
+            return t.name
+        raise TypeError(f"unknown type expression {t!r}")
+
+    # -- expressions ------------------------------------------------------
+    def expr_text(self, e: Expr, parent_prec: int = 0) -> str:
+        text, prec = self._expr(e)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr(self, e: Expr) -> tuple[str, int]:
+        if isinstance(e, IntLiteral):
+            return str(e.value), _ATOM_PRECEDENCE
+        if isinstance(e, RealLiteral):
+            return repr(e.value), _ATOM_PRECEDENCE
+        if isinstance(e, BoolLiteral):
+            return ("true" if e.value else "false"), _ATOM_PRECEDENCE
+        if isinstance(e, StringLiteral):
+            return f'"{escape_string(e.value)}"', _ATOM_PRECEDENCE
+        if isinstance(e, Name):
+            return e.id, _ATOM_PRECEDENCE
+        if isinstance(e, ArrayLiteral):
+            inner = ", ".join(self.expr_text(x) for x in e.elements)
+            return f"[{inner}]", _ATOM_PRECEDENCE
+        if isinstance(e, TupleLiteral):
+            inner = ", ".join(self.expr_text(x) for x in e.elements)
+            return f"({inner})", _ATOM_PRECEDENCE
+        if isinstance(e, DictLiteral):
+            inner = ", ".join(
+                f"{self.expr_text(k)}: {self.expr_text(v)}"
+                for k, v in e.entries
+            )
+            return f"{{{inner}}}", _ATOM_PRECEDENCE
+        if isinstance(e, RangeLiteral):
+            return (
+                f"[{self.expr_text(e.start)} ... {self.expr_text(e.stop)}]",
+                _ATOM_PRECEDENCE,
+            )
+        if isinstance(e, Index):
+            base = self.expr_text(e.base, 9)
+            return f"{base}[{self.expr_text(e.index)}]", 9
+        if isinstance(e, Attribute):
+            return f"{self.expr_text(e.base, 9)}.{e.attr}", 9
+        if isinstance(e, MethodCall):
+            args = ", ".join(self.expr_text(a) for a in e.args)
+            return f"{self.expr_text(e.base, 9)}.{e.method}({args})", 9
+        if isinstance(e, Call):
+            args = ", ".join(self.expr_text(a) for a in e.args)
+            return f"{e.func}({args})", 9
+        if isinstance(e, Unary):
+            prec = UNARY_PRECEDENCE[e.op]
+            spacer = " " if e.op is UnaryOp.NOT else ""
+            return f"{e.op.value}{spacer}{self.expr_text(e.operand, prec)}", prec
+        if isinstance(e, BinOp):
+            prec = BINARY_PRECEDENCE[e.op]
+            if e.op in RIGHT_ASSOCIATIVE:
+                left = self.expr_text(e.left, prec + 1)
+                right = self.expr_text(e.right, prec)
+            else:
+                left = self.expr_text(e.left, prec)
+                right = self.expr_text(e.right, prec + 1)
+            return f"{left} {e.op.value} {right}", prec
+        raise TypeError(f"unknown expression node {type(e).__name__}")
+
+    # -- statements -------------------------------------------------------
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append(f"{self.indent * depth}{text}")
+
+    def block(self, block: Block, depth: int) -> None:
+        if not block.statements:
+            self.emit(depth, "pass")
+            return
+        for stmt in block.statements:
+            self.stmt(stmt, depth)
+
+    def stmt(self, s: Stmt, depth: int) -> None:
+        if isinstance(s, ExprStmt):
+            self.emit(depth, self.expr_text(s.expr))
+        elif isinstance(s, Assign):
+            self.emit(depth, f"{self.expr_text(s.target)} = {self.expr_text(s.value)}")
+        elif isinstance(s, AugAssign):
+            self.emit(
+                depth,
+                f"{self.expr_text(s.target)} {s.op.value}= {self.expr_text(s.value)}",
+            )
+        elif isinstance(s, Unpack):
+            targets = ", ".join(self.expr_text(t) for t in s.targets)
+            self.emit(depth, f"{targets} = {self.expr_text(s.value)}")
+        elif isinstance(s, Declare):
+            self.emit(
+                depth,
+                f"{s.name} {self.type_text(s.declared_type)} = "
+                f"{self.expr_text(s.value)}",
+            )
+        elif isinstance(s, TryStmt):
+            self.emit(depth, "try:")
+            self.block(s.body, depth + 1)
+            self.emit(depth, f"catch {s.error_name}:")
+            self.block(s.handler, depth + 1)
+        elif isinstance(s, If):
+            self.emit(depth, f"if {self.expr_text(s.cond)}:")
+            self.block(s.then, depth + 1)
+            for clause in s.elifs:
+                self.emit(depth, f"elif {self.expr_text(clause.cond)}:")
+                self.block(clause.body, depth + 1)
+            if s.orelse is not None:
+                self.emit(depth, "else:")
+                self.block(s.orelse, depth + 1)
+        elif isinstance(s, While):
+            self.emit(depth, f"while {self.expr_text(s.cond)}:")
+            self.block(s.body, depth + 1)
+        elif isinstance(s, For):
+            self.emit(depth, f"for {s.var} in {self.expr_text(s.iterable)}:")
+            self.block(s.body, depth + 1)
+        elif isinstance(s, ParallelFor):
+            self.emit(depth, f"parallel for {s.var} in {self.expr_text(s.iterable)}:")
+            self.block(s.body, depth + 1)
+        elif isinstance(s, ParallelBlock):
+            self.emit(depth, "parallel:")
+            self.block(s.body, depth + 1)
+        elif isinstance(s, BackgroundBlock):
+            self.emit(depth, "background:")
+            self.block(s.body, depth + 1)
+        elif isinstance(s, LockStmt):
+            self.emit(depth, f"lock {s.name}:")
+            self.block(s.body, depth + 1)
+        elif isinstance(s, Return):
+            if s.value is None:
+                self.emit(depth, "return")
+            else:
+                self.emit(depth, f"return {self.expr_text(s.value)}")
+        elif isinstance(s, Break):
+            self.emit(depth, "break")
+        elif isinstance(s, Continue):
+            self.emit(depth, "continue")
+        elif isinstance(s, Pass):
+            self.emit(depth, "pass")
+        else:
+            raise TypeError(f"unknown statement node {type(s).__name__}")
+
+    # -- declarations -------------------------------------------------------
+    def function(self, fn: FunctionDef) -> None:
+        params = ", ".join(f"{p.name} {self.type_text(p.type)}" for p in fn.params)
+        ret = f" {self.type_text(fn.return_type)}" if fn.return_type is not None else ""
+        self.emit(0, f"def {fn.name}({params}){ret}:")
+        self.block(fn.body, 1)
+
+    def class_def(self, cls: ClassDef) -> None:
+        self.emit(0, f"class {cls.name}:")
+        if not cls.fields and not cls.methods:
+            self.emit(1, "pass")
+        for f in cls.fields:
+            self.emit(1, f"{f.name} {self.type_text(f.type)}")
+        for method in cls.methods:
+            self.lines.append("")
+            params = ", ".join(
+                f"{p.name} {self.type_text(p.type)}" for p in method.params
+            )
+            ret = (f" {self.type_text(method.return_type)}"
+                   if method.return_type is not None else "")
+            self.emit(1, f"def {method.name}({params}){ret}:")
+            self.block(method.body, 2)
+
+    def program(self, prog: Program) -> str:
+        first = True
+        for cls in getattr(prog, "classes", []):
+            if not first:
+                self.lines.append("")
+            first = False
+            self.class_def(cls)
+        for fn in prog.functions:
+            if not first:
+                self.lines.append("")
+            first = False
+            self.function(fn)
+        return "\n".join(self.lines) + "\n"
+
+
+def unparse(node: Program | FunctionDef | Stmt | Expr) -> str:
+    """Render any AST node back to Tetra source text."""
+    up = Unparser()
+    if isinstance(node, Program):
+        return up.program(node)
+    if isinstance(node, FunctionDef):
+        up.function(node)
+        return "\n".join(up.lines) + "\n"
+    if isinstance(node, Stmt):
+        up.stmt(node, 0)
+        return "\n".join(up.lines) + "\n"
+    if isinstance(node, Expr):
+        return up.expr_text(node)
+    raise TypeError(f"cannot unparse {type(node).__name__}")

@@ -1,0 +1,57 @@
+"""Visitor infrastructure for AST passes.
+
+Two styles are provided:
+
+* :class:`NodeVisitor` — classic ``visit_<ClassName>`` dispatch with a
+  ``generic_visit`` fallback that recurses into children.  Used by the type
+  checker, the code generator, and several analyses.
+* :class:`NodeTransformer` — like NodeVisitor but rebuilds lists of child
+  statements from return values, enabling desugaring passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from .nodes import Node
+
+
+class NodeVisitor:
+    """Dispatch ``visit(node)`` to ``visit_<ClassName>`` methods."""
+
+    def visit(self, node: Node):
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is None:
+            return self.generic_visit(node)
+        return method(node)
+
+    def generic_visit(self, node: Node):
+        for child in node.children():
+            self.visit(child)
+        return None
+
+
+class NodeTransformer(NodeVisitor):
+    """A visitor whose ``visit`` methods may return replacement nodes.
+
+    Returning ``None`` from a statement visitor removes the statement;
+    returning a node replaces it; the default keeps the node and recurses.
+    """
+
+    def generic_visit(self, node: Node):
+        for f in fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, Node):
+                new = self.visit(value)
+                setattr(node, f.name, new if new is not None else value)
+            elif isinstance(value, list):
+                new_list = []
+                for item in value:
+                    if isinstance(item, Node):
+                        replacement = self.visit(item)
+                        if replacement is not None:
+                            new_list.append(replacement)
+                    else:
+                        new_list.append(item)
+                setattr(node, f.name, new_list)
+        return node

@@ -1,0 +1,322 @@
+"""The ``tetra`` command-line driver.
+
+The paper ships "a command line driver program ... which simply calls the
+interpreter on its argument from start to finish"; this driver adds the
+developer-tool subcommands a real release needs:
+
+    tetra run program.ttr          interpret a program (default backend)
+    tetra check program.ttr        type-check only, print all diagnostics
+    tetra tokens program.ttr       dump the token stream
+    tetra ast program.ttr          dump the abstract syntax tree
+    tetra compile program.ttr      emit the compiled Python module
+    tetra highlight program.ttr    print the source with ANSI colors
+    tetra dbg program.ttr          interactive parallel debugger (TUI)
+    tetra builtins                 list the standard library
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import __version__
+from ..api import BACKEND_FACTORIES, check_source
+from ..errors import TetraError
+from ..lexer import TokenType, tokenize
+from ..parser import parse_source
+from ..source import SourceFile
+from ..tetra_ast import dump
+from ..interp import Interpreter
+from ..runtime import RuntimeConfig
+from ..stdlib.registry import catalog
+
+
+def _read(path: str) -> SourceFile:
+    try:
+        return SourceFile.from_path(path)
+    except OSError as exc:
+        raise SystemExit(f"tetra: cannot read {path}: {exc.strerror}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    config = RuntimeConfig(
+        num_workers=args.workers,
+        chunking=args.chunking,
+    )
+    try:
+        program = parse_source(source)
+        from ..types import check_program
+
+        check_program(program, source)
+        backend = BACKEND_FACTORIES[args.backend](config=config)
+        Interpreter(program, source, backend=backend).run()
+    except TetraError as exc:
+        print(exc.attach_source(source).render(), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    diagnostics = check_source(source.text, args.file)
+    for exc in diagnostics:
+        print(exc.render(), file=sys.stderr)
+    if diagnostics:
+        count = len(diagnostics)
+        print(f"{count} error{'s' if count != 1 else ''}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: ok")
+    return 0
+
+
+def cmd_tokens(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    try:
+        for token in tokenize(source):
+            if token.type is TokenType.EOF:
+                break
+            location = f"{token.span.line}:{token.span.column}"
+            payload = f" {token.value!r}" if token.value is not None else ""
+            print(f"{location:>8}  {token.type.name}{payload}")
+    except TetraError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_ast(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    try:
+        program = parse_source(source)
+    except TetraError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
+    print(dump(program, include_spans=args.spans))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    from ..compiler import compile_to_python
+
+    try:
+        code = compile_to_python(source.text, module_name=args.file)
+    except TetraError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(code)
+        print(f"wrote {args.output}")
+    else:
+        print(code)
+    return 0
+
+
+def cmd_highlight(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    from ..ide.highlight import render_ansi
+
+    sys.stdout.write(render_ansi(source.text, args.file))
+    return 0
+
+
+def cmd_dbg(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    from ..ide.tui import debug_main
+
+    try:
+        debug_main(source.text)
+    except TetraError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_sim(args: argparse.Namespace) -> int:
+    """Run a program on the virtual-time machine model and print the
+    speedup table (and optionally the schedule Gantt chart)."""
+    source = _read(args.file)
+    from ..runtime import SimBackend
+
+    try:
+        core_counts = sorted({int(c) for c in args.cores.split(",")})
+    except ValueError:
+        print(f"tetra: --cores wants a comma list of ints, got {args.cores!r}",
+              file=sys.stderr)
+        return 2
+    backend = SimBackend(
+        cores=max(core_counts),
+        config=RuntimeConfig(num_workers=args.workers,
+                             chunking=args.chunking),
+    )
+    try:
+        if args.load_trace:
+            from ..runtime.traceio import load_trace
+
+            backend.recorder.root = load_trace(args.load_trace)
+        else:
+            program = parse_source(source)
+            from ..types import check_program
+
+            check_program(program, source)
+            Interpreter(program, source, backend=backend).run()
+        if args.save_trace:
+            from ..runtime.traceio import save_trace
+
+            save_trace(backend.trace, args.save_trace)
+            print(f"trace saved to {args.save_trace}", file=sys.stderr)
+    except TetraError as exc:
+        print(exc.attach_source(source).render(), file=sys.stderr)
+        return 1
+    curve = backend.speedups(core_counts)
+    base = curve[1]
+    print(f"{'cores':>5}  {'virtual time':>12}  {'speedup':>7}  {'efficiency':>10}")
+    for cores in sorted(curve):
+        result = curve[cores]
+        print(f"{cores:>5}  {round(result.makespan):>12}  "
+              f"{result.speedup_against(base):>7.2f}  "
+              f"{result.efficiency_against(base) * 100:>9.1f}%")
+    if args.timeline:
+        from ..runtime.gantt import render_gantt
+
+        for cores in core_counts:
+            if cores == 1 and len(core_counts) > 1:
+                continue
+            print(f"\nschedule on {cores} cores:")
+            print(render_gantt(curve[cores], width=args.width))
+    return 0
+
+
+def cmd_fmt(args: argparse.Namespace) -> int:
+    """Pretty-print a program in canonical formatting (via the unparser)."""
+    source = _read(args.file)
+    from ..tetra_ast import unparse
+
+    try:
+        program = parse_source(source)
+    except TetraError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
+    formatted = unparse(program)
+    if args.write:
+        with open(args.file, "w", encoding="utf-8") as handle:
+            handle.write(formatted)
+        print(f"formatted {args.file}")
+    else:
+        sys.stdout.write(formatted)
+    return 0
+
+
+def cmd_repl(args: argparse.Namespace) -> int:
+    from .repl import repl_main
+
+    repl_main()
+    return 0
+
+
+def cmd_builtins(args: argparse.Namespace) -> int:
+    category = None
+    for b in catalog():
+        if b.category != category:
+            category = b.category
+            print(f"\n[{category}]")
+        print(f"  {b.doc or b.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tetra",
+        description="Tetra: an educational parallel programming system",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"tetra (repro) {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="interpret a Tetra program")
+    run.add_argument("file")
+    run.add_argument("--backend", choices=sorted(BACKEND_FACTORIES),
+                     default="thread",
+                     help="execution backend (default: thread)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker threads for 'parallel for'")
+    run.add_argument("--chunking", choices=["block", "cyclic"],
+                     default="block", help="parallel-for iteration split")
+    run.set_defaults(func=cmd_run)
+
+    check = sub.add_parser("check", help="type-check without running")
+    check.add_argument("file")
+    check.set_defaults(func=cmd_check)
+
+    tokens = sub.add_parser("tokens", help="dump the token stream")
+    tokens.add_argument("file")
+    tokens.set_defaults(func=cmd_tokens)
+
+    ast = sub.add_parser("ast", help="dump the abstract syntax tree")
+    ast.add_argument("file")
+    ast.add_argument("--spans", action="store_true",
+                     help="include line:column positions")
+    ast.set_defaults(func=cmd_ast)
+
+    compile_ = sub.add_parser("compile",
+                              help="compile to a Python module")
+    compile_.add_argument("file")
+    compile_.add_argument("-o", "--output", default=None,
+                          help="write to a file instead of stdout")
+    compile_.set_defaults(func=cmd_compile)
+
+    hl = sub.add_parser("highlight", help="print source with ANSI colors")
+    hl.add_argument("file")
+    hl.set_defaults(func=cmd_highlight)
+
+    dbg = sub.add_parser("dbg", help="interactive parallel debugger")
+    dbg.add_argument("file")
+    dbg.set_defaults(func=cmd_dbg)
+
+    sim = sub.add_parser(
+        "sim",
+        help="virtual-time speedup study on a model multicore",
+    )
+    sim.add_argument("file")
+    sim.add_argument("--cores", default="1,2,4,8",
+                     help="comma list of core counts (default 1,2,4,8)")
+    sim.add_argument("--workers", type=int, default=None,
+                     help="worker threads for 'parallel for'")
+    sim.add_argument("--chunking", choices=["block", "cyclic"],
+                     default="block")
+    sim.add_argument("--timeline", action="store_true",
+                     help="draw a Gantt chart of each schedule")
+    sim.add_argument("--width", type=int, default=64,
+                     help="Gantt chart width in columns")
+    sim.add_argument("--save-trace", default=None, metavar="FILE",
+                     help="write the recorded task graph as JSON")
+    sim.add_argument("--load-trace", default=None, metavar="FILE",
+                     help="schedule a previously saved trace instead of "
+                          "re-interpreting the program")
+    sim.set_defaults(func=cmd_sim)
+
+    fmt = sub.add_parser("fmt", help="pretty-print in canonical style")
+    fmt.add_argument("file")
+    fmt.add_argument("-w", "--write", action="store_true",
+                     help="rewrite the file in place")
+    fmt.set_defaults(func=cmd_fmt)
+
+    repl = sub.add_parser("repl", help="interactive Tetra session")
+    repl.set_defaults(func=cmd_repl)
+
+    builtins_ = sub.add_parser("builtins", help="list the standard library")
+    builtins_.set_defaults(func=cmd_builtins)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

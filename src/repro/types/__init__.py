@@ -1,0 +1,35 @@
+"""Static type system: semantic types, symbol tables, checker/inference."""
+
+from .check import ERROR, ErrorType, TypeChecker, check_program, collect_diagnostics
+from .symbols import ClassInfo, FunctionSignature, LocalScope, ProgramSymbols, VariableInfo
+from .types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    VOID,
+    ArrayType,
+    BoolType,
+    ClassType,
+    DictType,
+    IntType,
+    RealType,
+    StringType,
+    TupleType,
+    Type,
+    VALID_KEY_TYPES,
+    VoidType,
+    element_of,
+    from_type_expr,
+    is_assignable,
+    numeric_join,
+)
+
+__all__ = [
+    "ERROR", "ErrorType", "TypeChecker", "check_program", "collect_diagnostics",
+    "ClassInfo", "FunctionSignature", "LocalScope", "ProgramSymbols", "VariableInfo",
+    "BOOL", "INT", "REAL", "STRING", "VOID",
+    "ArrayType", "BoolType", "ClassType", "DictType", "IntType", "RealType", "StringType",
+    "TupleType", "Type",
+    "VALID_KEY_TYPES", "VoidType", "element_of", "from_type_expr", "is_assignable", "numeric_join",
+]

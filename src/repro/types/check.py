@@ -1,0 +1,1020 @@
+"""The Tetra static type checker and flow-based local type inference.
+
+Mirrors the paper's two facts about the original implementation:
+
+* "Tetra is statically typed: all types are known at compile/parse time."
+* "Because type inference is only done on the local scope, a simple
+  flow-based algorithm suffices."  Function parameters and return values
+  carry declared types; the first assignment a top-down walk encounters
+  fixes each local variable's type.
+
+The checker collects *all* diagnostics instead of stopping at the first —
+students fix batches of errors — using an ``ERROR`` recovery type to
+suppress cascading complaints.  It also enforces the structural rules a
+parallel language needs: ``break``/``continue`` cannot escape a thread
+boundary, and ``return`` is not allowed inside ``parallel`` /
+``background`` / ``parallel for`` bodies (a thread has no function
+activation of its own to return from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TetraNameError, TetraTypeError
+from ..source import SourceFile
+from ..tetra_ast import (
+    ArrayLiteral,
+    Assign,
+    Attribute,
+    AugAssign,
+    BackgroundBlock,
+    BinaryOp,
+    BinOp,
+    Block,
+    BoolLiteral,
+    Break,
+    Call,
+    ClassDef,
+    Continue,
+    Declare,
+    DictLiteral,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    If,
+    Index,
+    IntLiteral,
+    LockStmt,
+    MethodCall,
+    Name,
+    ParallelBlock,
+    ParallelFor,
+    Pass,
+    Program,
+    RangeLiteral,
+    RealLiteral,
+    Return,
+    Stmt,
+    StringLiteral,
+    TryStmt,
+    TupleLiteral,
+    Unary,
+    UnaryOp,
+    Unpack,
+    While,
+)
+from .symbols import (
+    ClassInfo,
+    FunctionSignature,
+    LocalScope,
+    ProgramSymbols,
+    VariableInfo,
+)
+from .types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    VALID_KEY_TYPES,
+    VOID,
+    ArrayType,
+    BoolType,
+    ClassType,
+    DictType,
+    IntType,
+    StringType,
+    TupleType,
+    Type,
+    element_of,
+    from_type_expr,
+    is_assignable,
+    numeric_join,
+)
+
+
+@dataclass(frozen=True)
+class ErrorType(Type):
+    """Recovery type: compatible with everything, so one mistake does not
+    produce a page of follow-on errors."""
+
+    def __str__(self) -> str:
+        return "<error>"
+
+
+ERROR = ErrorType()
+
+
+def _is_error(*types: Type) -> bool:
+    return any(isinstance(t, ErrorType) for t in types)
+
+
+class TypeChecker:
+    """Checks one :class:`Program`; see :func:`check_program` for the
+    raise-on-error convenience wrapper."""
+
+    def __init__(self, program: Program, source: SourceFile | None = None,
+                 builtins=None):
+        self.program = program
+        self.source = source
+        if builtins is None:
+            from ..stdlib.registry import BUILTINS  # local import: no cycle
+            builtins = BUILTINS
+        self.builtins = builtins
+        self.symbols = ProgramSymbols()
+        self.errors: list[TetraTypeError] = []
+        # Per-function state
+        self._scope: LocalScope | None = None
+        self._signature: FunctionSignature | None = None
+        self._loop_depth = 0       # sequential loops since the last thread boundary
+        self._boundary_depth = 0   # nesting of parallel/background/parallel-for
+
+    # ------------------------------------------------------------------
+    # Error handling
+    # ------------------------------------------------------------------
+    def _err(self, message: str, node) -> Type:
+        exc = TetraTypeError(message, node.span)
+        if self.source is not None:
+            exc.attach_source(self.source)
+        self.errors.append(exc)
+        return ERROR
+
+    def _name_err(self, message: str, node) -> Type:
+        exc = TetraNameError(message, node.span)
+        if self.source is not None:
+            exc.attach_source(self.source)
+        self.errors.append(exc)
+        return ERROR
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> ProgramSymbols:
+        self._collect_classes()
+        self._collect_signatures()
+        for fn in self.program.functions:
+            self._check_function(fn)
+        for cls in getattr(self.program, "classes", []):
+            self._check_class_methods(cls)
+        self._check_main()
+        self.program.symbols = self.symbols  # type: ignore[attr-defined]
+        return self.symbols
+
+    # ------------------------------------------------------------------
+    # Classes
+    # ------------------------------------------------------------------
+    def _collect_classes(self) -> None:
+        for cls in getattr(self.program, "classes", []):
+            if cls.name in self.symbols.classes:
+                self._err(f"class '{cls.name}' is defined more than once", cls)
+                continue
+            field_names = tuple(f.name for f in cls.fields)
+            if len(set(field_names)) != len(field_names):
+                self._err(f"class '{cls.name}' repeats a field name", cls)
+            field_types = tuple(from_type_expr(f.type) for f in cls.fields)
+            info = ClassInfo(cls.name, field_names, field_types, span=cls.span)
+            for method in cls.methods:
+                if method.name in info.methods:
+                    self._err(
+                        f"class '{cls.name}' defines method "
+                        f"'{method.name}' twice",
+                        method,
+                    )
+                    continue
+                if method.name in field_names:
+                    self._err(
+                        f"'{cls.name}.{method.name}' is both a field and a "
+                        "method",
+                        method,
+                    )
+                params = tuple(from_type_expr(p.type) for p in method.params)
+                names = tuple(p.name for p in method.params)
+                if "self" in names:
+                    self._err(
+                        "'self' is implicit in methods; do not declare it "
+                        "as a parameter",
+                        method,
+                    )
+                ret = (from_type_expr(method.return_type)
+                       if method.return_type is not None else VOID)
+                info.methods[method.name] = FunctionSignature(
+                    f"{cls.name}.{method.name}",
+                    ("self",) + names,
+                    (ClassType(cls.name),) + params,
+                    ret,
+                    method.span,
+                )
+            self.symbols.classes[cls.name] = info
+        # Field and method annotation types can reference other classes, so
+        # validate only after every class is known.
+        for cls in getattr(self.program, "classes", []):
+            info = self.symbols.classes.get(cls.name)
+            if info is None:
+                continue
+            for f, ty in zip(cls.fields, info.field_types):
+                self._validate_type(ty, f)
+            for method in cls.methods:
+                sig = info.methods.get(method.name)
+                if sig is None:
+                    continue
+                for ty in sig.param_types[1:]:
+                    self._validate_type(ty, method)
+                self._validate_type(sig.return_type, method)
+
+    def _check_class_methods(self, cls: ClassDef) -> None:
+        info = self.symbols.classes.get(cls.name)
+        if info is None:
+            return
+        for method in cls.methods:
+            sig = info.methods.get(method.name)
+            if sig is None:
+                continue
+            scope = LocalScope()
+            scope.define(VariableInfo(
+                "self", ClassType(cls.name), method.span, is_parameter=True
+            ))
+            for pname, ptype, param in zip(sig.param_names[1:],
+                                           sig.param_types[1:],
+                                           method.params):
+                scope.define(VariableInfo(pname, ptype, param.span,
+                                          is_parameter=True))
+            self._scope = scope
+            self._signature = sig
+            self._loop_depth = 0
+            self._boundary_depth = 0
+            self.check_block(method.body)
+            if (sig.return_type is not VOID
+                    and not self._block_always_returns(method.body)):
+                self._err(
+                    f"method '{cls.name}.{method.name}' is declared to "
+                    f"return {sig.return_type} but not every path ends in "
+                    "a return",
+                    method,
+                )
+            self.symbols.locals[f"{cls.name}.{method.name}"] = scope
+
+    def _collect_signatures(self) -> None:
+        for fn in self.program.functions:
+            if fn.name in self.symbols.functions:
+                self._err(f"function '{fn.name}' is defined more than once", fn)
+                continue
+            if fn.name in self.symbols.classes:
+                self._err(
+                    f"'{fn.name}' is already a class name (constructors and "
+                    "functions share the call namespace)",
+                    fn,
+                )
+                continue
+            # A user function may shadow a builtin of the same name (user
+            # wins): the paper's own listings define `sum` and `max`.
+            params = tuple(from_type_expr(p.type) for p in fn.params)
+            for param, ty in zip(fn.params, params):
+                self._validate_type(ty, param)
+            names = tuple(p.name for p in fn.params)
+            if len(set(names)) != len(names):
+                self._err(f"function '{fn.name}' repeats a parameter name", fn)
+            ret = from_type_expr(fn.return_type) if fn.return_type is not None else VOID
+            if fn.return_type is not None:
+                self._validate_type(ret, fn)
+            self.symbols.functions[fn.name] = FunctionSignature(
+                fn.name, names, params, ret, fn.span
+            )
+
+    def _check_main(self) -> None:
+        sig = self.symbols.functions.get("main")
+        if sig is None:
+            return  # libraries without main are fine; api.run checks later
+        if sig.param_types:
+            self._err_at_span("main() must not take parameters", sig.span)
+        if sig.return_type is not VOID:
+            self._err_at_span("main() must not declare a return type", sig.span)
+
+    def _err_at_span(self, message: str, span) -> None:
+        exc = TetraTypeError(message, span)
+        if self.source is not None:
+            exc.attach_source(self.source)
+        self.errors.append(exc)
+
+    def _validate_type(self, ty: Type, node) -> None:
+        """Reject invalid composite annotations (bad dict key types)."""
+        if isinstance(ty, DictType):
+            if not isinstance(ty.key, VALID_KEY_TYPES):
+                self._err(
+                    f"dict keys must be int or string, not {ty.key}", node
+                )
+            self._validate_type(ty.value, node)
+        elif isinstance(ty, ArrayType):
+            self._validate_type(ty.element, node)
+        elif isinstance(ty, TupleType):
+            for element in ty.elements:
+                self._validate_type(element, node)
+        elif isinstance(ty, ClassType):
+            if ty.name not in self.symbols.classes:
+                self._name_err(f"there is no class named '{ty.name}'", node)
+
+    def check_expr_expecting(self, expr: Expr, want: Type) -> Type:
+        """Check an expression with a destination type available.
+
+        The hint exists for exactly one purpose: giving empty ``[]`` / ``{}``
+        literals the element types they cannot carry themselves.
+        """
+        if (isinstance(expr, ArrayLiteral) and not expr.elements
+                and isinstance(want, ArrayType)):
+            expr.ty = want
+            return want
+        if (isinstance(expr, DictLiteral) and not expr.entries
+                and isinstance(want, DictType)):
+            expr.ty = want
+            return want
+        return self.check_expr(expr)
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+    def _check_function(self, fn: FunctionDef) -> None:
+        sig = self.symbols.functions.get(fn.name)
+        if sig is None:
+            return  # duplicate/shadow: already diagnosed
+        scope = LocalScope()
+        for name, ty, param in zip(sig.param_names, sig.param_types, fn.params):
+            scope.define(VariableInfo(name, ty, param.span, is_parameter=True))
+        self._scope = scope
+        self._signature = sig
+        self._loop_depth = 0
+        self._boundary_depth = 0
+        self.check_block(fn.body)
+        if sig.return_type is not VOID and not self._block_always_returns(fn.body):
+            self._err(
+                f"function '{fn.name}' is declared to return {sig.return_type} "
+                "but not every path ends in a return",
+                fn,
+            )
+        self.symbols.locals[fn.name] = scope
+
+    def _block_always_returns(self, block: Block) -> bool:
+        return any(self._stmt_always_returns(s) for s in block.statements)
+
+    def _stmt_always_returns(self, stmt: Stmt) -> bool:
+        if isinstance(stmt, Return):
+            return True
+        if isinstance(stmt, If):
+            if stmt.orelse is None:
+                return False
+            return (
+                self._block_always_returns(stmt.then)
+                and all(self._block_always_returns(c.body) for c in stmt.elifs)
+                and self._block_always_returns(stmt.orelse)
+            )
+        if isinstance(stmt, LockStmt):
+            return self._block_always_returns(stmt.body)
+        if isinstance(stmt, TryStmt):
+            # An error can jump from anywhere in the body to the handler,
+            # so both must guarantee the return.
+            return (self._block_always_returns(stmt.body)
+                    and self._block_always_returns(stmt.handler))
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def check_block(self, block: Block) -> None:
+        for stmt in block.statements:
+            self.check_stmt(stmt)
+
+    def check_stmt(self, stmt: Stmt) -> None:
+        method = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if method is None:
+            raise TypeError(f"checker has no handler for {type(stmt).__name__}")
+        method(stmt)
+
+    def _stmt_ExprStmt(self, stmt: ExprStmt) -> None:
+        self.check_expr(stmt.expr)
+
+    def _stmt_Pass(self, stmt: Pass) -> None:
+        pass
+
+    def _stmt_Assign(self, stmt: Assign) -> None:
+        if isinstance(stmt.target, Name):
+            assert self._scope is not None
+            info = self._scope.lookup(stmt.target.id)
+            if info is not None:
+                value_ty = self.check_expr_expecting(stmt.value, info.type)
+            else:
+                value_ty = self.check_expr(stmt.value)
+            self._assign_name(stmt.target, value_ty, stmt)
+        elif isinstance(stmt.target, Attribute):
+            target_ty = self.check_expr(stmt.target)
+            value_ty = (self.check_expr_expecting(stmt.value, target_ty)
+                        if not _is_error(target_ty)
+                        else self.check_expr(stmt.value))
+            if _is_error(target_ty, value_ty):
+                return
+            if not is_assignable(target_ty, value_ty):
+                self._err(
+                    f"field '{stmt.target.attr}' is a {target_ty} and cannot "
+                    f"hold a {value_ty}",
+                    stmt,
+                )
+        else:
+            assert isinstance(stmt.target, Index)
+            target_ty = self.check_expr(stmt.target)
+            base_ty = getattr(stmt.target.base, "ty", None)
+            if isinstance(base_ty, TupleType):
+                self._err(
+                    "tuples are immutable; build a new tuple instead of "
+                    "assigning to an element",
+                    stmt,
+                )
+            value_ty = (self.check_expr_expecting(stmt.value, target_ty)
+                        if not _is_error(target_ty)
+                        else self.check_expr(stmt.value))
+            if _is_error(target_ty, value_ty):
+                return
+            if not is_assignable(target_ty, value_ty):
+                self._err(
+                    f"cannot store a {value_ty} into an element of type {target_ty}",
+                    stmt,
+                )
+
+    def _assign_name(self, target: Name, value_ty: Type, stmt: Stmt) -> None:
+        assert self._scope is not None
+        info = self._scope.lookup(target.id)
+        if info is None:
+            if isinstance(value_ty, ErrorType):
+                value_ty = ERROR  # still bind, to avoid "undefined" cascades
+            if value_ty is VOID:
+                self._err(
+                    f"'{target.id}' cannot hold the result of a function that "
+                    "returns nothing",
+                    stmt,
+                )
+                value_ty = ERROR
+            self._scope.define(VariableInfo(target.id, value_ty, stmt.span))
+            target.ty = value_ty
+            return
+        target.ty = info.type
+        if _is_error(info.type, value_ty):
+            return
+        if not is_assignable(info.type, value_ty):
+            self._err(
+                f"'{target.id}' was inferred as {info.type} "
+                f"(first assigned at {info.first_assigned}) and cannot hold a "
+                f"{value_ty}",
+                stmt,
+            )
+
+    def _stmt_AugAssign(self, stmt: AugAssign) -> None:
+        target_ty = self.check_expr(stmt.target)
+        value_ty = self.check_expr(stmt.value)
+        if isinstance(stmt.target, Name):
+            assert self._scope is not None
+            if self._scope.lookup(stmt.target.id) is None:
+                return  # undefined: already diagnosed by check_expr
+        if _is_error(target_ty, value_ty):
+            return
+        result = self._binop_result(stmt.op, target_ty, value_ty, stmt)
+        if isinstance(result, ErrorType):
+            return
+        if not is_assignable(target_ty, result):
+            self._err(
+                f"'{stmt.op.value}=' would turn a {target_ty} into a {result}",
+                stmt,
+            )
+
+    def _stmt_Declare(self, stmt: Declare) -> None:
+        assert self._scope is not None
+        declared = from_type_expr(stmt.declared_type)
+        self._validate_type(declared, stmt)
+        value_ty = self.check_expr_expecting(stmt.value, declared)
+        if self._scope.lookup(stmt.name) is not None:
+            self._err(
+                f"'{stmt.name}' is already defined; a declaration must be "
+                "its first assignment",
+                stmt,
+            )
+            return
+        self._scope.define(VariableInfo(stmt.name, declared, stmt.span))
+        if not _is_error(value_ty) and not is_assignable(declared, value_ty):
+            self._err(
+                f"'{stmt.name}' is declared as {declared} but initialized "
+                f"with a {value_ty}",
+                stmt,
+            )
+
+    def _stmt_Unpack(self, stmt: Unpack) -> None:
+        assert self._scope is not None
+        value_ty = self.check_expr(stmt.value)
+        if _is_error(value_ty):
+            # Still bind names so later uses do not cascade.
+            for target in stmt.targets:
+                if isinstance(target, Name) and target.id not in self._scope:
+                    self._scope.define(VariableInfo(target.id, ERROR, stmt.span))
+            return
+        if not isinstance(value_ty, TupleType):
+            self._err(
+                f"only tuples can be unpacked, not a {value_ty}", stmt.value
+            )
+            return
+        if len(stmt.targets) != len(value_ty.elements):
+            self._err(
+                f"cannot unpack a {len(value_ty.elements)}-tuple into "
+                f"{len(stmt.targets)} target(s)",
+                stmt,
+            )
+            return
+        for target, element_ty in zip(stmt.targets, value_ty.elements):
+            if isinstance(target, Name):
+                self._assign_name(target, element_ty, stmt)
+            else:
+                target_ty = self.check_expr(target)
+                if (not _is_error(target_ty, element_ty)
+                        and not is_assignable(target_ty, element_ty)):
+                    self._err(
+                        f"cannot store a {element_ty} into an element of "
+                        f"type {target_ty}",
+                        target,
+                    )
+
+    def _stmt_TryStmt(self, stmt: TryStmt) -> None:
+        assert self._scope is not None
+        self.check_block(stmt.body)
+        info = self._scope.lookup(stmt.error_name)
+        if info is None:
+            self._scope.define(VariableInfo(stmt.error_name, STRING, stmt.span))
+        elif not _is_error(info.type) and not isinstance(info.type, StringType):
+            self._err(
+                f"the catch variable '{stmt.error_name}' was already "
+                f"inferred as {info.type}; catch binds the error message, "
+                "a string",
+                stmt,
+            )
+        self.check_block(stmt.handler)
+
+    def _require_bool(self, expr: Expr, what: str) -> None:
+        ty = self.check_expr(expr)
+        if not isinstance(ty, (BoolType, ErrorType)):
+            self._err(f"the {what} must be a bool, not a {ty}", expr)
+
+    def _stmt_If(self, stmt: If) -> None:
+        self._require_bool(stmt.cond, "'if' condition")
+        self.check_block(stmt.then)
+        for clause in stmt.elifs:
+            self._require_bool(clause.cond, "'elif' condition")
+            self.check_block(clause.body)
+        if stmt.orelse is not None:
+            self.check_block(stmt.orelse)
+
+    def _stmt_While(self, stmt: While) -> None:
+        self._require_bool(stmt.cond, "'while' condition")
+        self._loop_depth += 1
+        self.check_block(stmt.body)
+        self._loop_depth -= 1
+
+    def _check_loop_var(self, var: str, iterable: Expr, stmt: Stmt,
+                        induction: bool) -> None:
+        assert self._scope is not None
+        iter_ty = self.check_expr(iterable)
+        elem = element_of(iter_ty) if not isinstance(iter_ty, ErrorType) else ERROR
+        if elem is None:
+            self._err(
+                f"cannot loop over a {iter_ty} (expected an array or a string)",
+                iterable,
+            )
+            elem = ERROR
+        info = self._scope.lookup(var)
+        if info is None:
+            self._scope.define(
+                VariableInfo(var, elem, stmt.span, is_induction=induction)
+            )
+        elif not _is_error(info.type, elem) and not is_assignable(info.type, elem):
+            self._err(
+                f"loop variable '{var}' was inferred as {info.type} but this "
+                f"loop yields {elem}",
+                stmt,
+            )
+
+    def _stmt_For(self, stmt: For) -> None:
+        self._check_loop_var(stmt.var, stmt.iterable, stmt, induction=False)
+        self._loop_depth += 1
+        self.check_block(stmt.body)
+        self._loop_depth -= 1
+
+    def _stmt_ParallelFor(self, stmt: ParallelFor) -> None:
+        self._check_loop_var(stmt.var, stmt.iterable, stmt, induction=True)
+        self._enter_boundary(stmt.body)
+
+    def _stmt_ParallelBlock(self, stmt: ParallelBlock) -> None:
+        self._enter_boundary(stmt.body)
+
+    def _stmt_BackgroundBlock(self, stmt: BackgroundBlock) -> None:
+        self._enter_boundary(stmt.body)
+
+    def _enter_boundary(self, body: Block) -> None:
+        """Check a block whose statements run on fresh threads."""
+        saved_loops = self._loop_depth
+        self._loop_depth = 0
+        self._boundary_depth += 1
+        self.check_block(body)
+        self._boundary_depth -= 1
+        self._loop_depth = saved_loops
+
+    def _stmt_LockStmt(self, stmt: LockStmt) -> None:
+        self.symbols.lock_names.add(stmt.name)
+        self.check_block(stmt.body)
+
+    def _stmt_Return(self, stmt: Return) -> None:
+        assert self._signature is not None
+        if self._boundary_depth > 0:
+            self._err(
+                "'return' is not allowed inside a parallel, background, or "
+                "parallel for block — a spawned thread has nothing to return from",
+                stmt,
+            )
+            if stmt.value is not None:
+                self.check_expr(stmt.value)
+            return
+        expected = self._signature.return_type
+        if stmt.value is None:
+            if expected is not VOID:
+                self._err(
+                    f"function '{self._signature.name}' must return a {expected}",
+                    stmt,
+                )
+            return
+        got = self.check_expr(stmt.value)
+        if expected is VOID:
+            self._err(
+                f"function '{self._signature.name}' does not declare a return "
+                "type, so 'return' must not carry a value",
+                stmt,
+            )
+        elif not _is_error(got) and not is_assignable(expected, got):
+            self._err(
+                f"function '{self._signature.name}' returns {expected}, "
+                f"not {got}",
+                stmt,
+            )
+
+    def _stmt_Break(self, stmt: Break) -> None:
+        if self._loop_depth == 0:
+            self._err(
+                "'break' outside a loop (note: it cannot cross into a "
+                "'parallel for' — iterations are independent)",
+                stmt,
+            )
+
+    def _stmt_Continue(self, stmt: Continue) -> None:
+        if self._loop_depth == 0:
+            self._err(
+                "'continue' outside a loop (note: it cannot cross into a "
+                "'parallel for' — iterations are independent)",
+                stmt,
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def check_expr(self, expr: Expr) -> Type:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is None:
+            raise TypeError(f"checker has no handler for {type(expr).__name__}")
+        ty: Type = method(expr)
+        expr.ty = ty
+        return ty
+
+    def _expr_IntLiteral(self, expr: IntLiteral) -> Type:
+        return INT
+
+    def _expr_RealLiteral(self, expr: RealLiteral) -> Type:
+        return REAL
+
+    def _expr_StringLiteral(self, expr: StringLiteral) -> Type:
+        return STRING
+
+    def _expr_BoolLiteral(self, expr: BoolLiteral) -> Type:
+        return BOOL
+
+    def _expr_Name(self, expr: Name) -> Type:
+        assert self._scope is not None
+        info = self._scope.lookup(expr.id)
+        if info is None:
+            hint = ""
+            if expr.id in self.symbols.functions or expr.id in self.builtins:
+                hint = " (functions must be called with parentheses)"
+            return self._name_err(f"'{expr.id}' is not defined here{hint}", expr)
+        return info.type
+
+    def _expr_ArrayLiteral(self, expr: ArrayLiteral) -> Type:
+        if not expr.elements:
+            return self._err(
+                "cannot infer the element type of an empty array literal; "
+                "use the array(length, value) builtin instead",
+                expr,
+            )
+        element = self.check_expr(expr.elements[0])
+        for item in expr.elements[1:]:
+            ty = self.check_expr(item)
+            if _is_error(element, ty):
+                element = ERROR if _is_error(element) else element
+                continue
+            if ty == element:
+                continue
+            joined = numeric_join(element, ty)
+            if joined is None:
+                return self._err(
+                    f"array literal mixes {element} and {ty} elements", item
+                )
+            element = joined
+        if _is_error(element):
+            return ERROR
+        return ArrayType(element)
+
+    def _expr_TupleLiteral(self, expr: TupleLiteral) -> Type:
+        element_types = tuple(self.check_expr(e) for e in expr.elements)
+        if _is_error(*element_types):
+            return ERROR
+        return TupleType(element_types)
+
+    def _expr_DictLiteral(self, expr: DictLiteral) -> Type:
+        if not expr.entries:
+            return self._err(
+                "cannot infer the key/value types of an empty dict literal; "
+                "declare it: name {K: V} = {}",
+                expr,
+            )
+        key_ty: Type | None = None
+        value_ty: Type | None = None
+        for key_expr, value_expr in expr.entries:
+            kt = self.check_expr(key_expr)
+            vt = self.check_expr(value_expr)
+            if _is_error(kt, vt):
+                return ERROR
+            if key_ty is None:
+                if not isinstance(kt, VALID_KEY_TYPES):
+                    return self._err(
+                        f"dict keys must be int or string, not {kt}", key_expr
+                    )
+                key_ty = kt
+            elif kt != key_ty:
+                return self._err(
+                    f"dict literal mixes {key_ty} and {kt} keys", key_expr
+                )
+            if value_ty is None:
+                value_ty = vt
+            elif vt != value_ty:
+                joined = numeric_join(value_ty, vt)
+                if joined is None:
+                    return self._err(
+                        f"dict literal mixes {value_ty} and {vt} values",
+                        value_expr,
+                    )
+                value_ty = joined
+        assert key_ty is not None and value_ty is not None
+        return DictType(key_ty, value_ty)
+
+    def _expr_RangeLiteral(self, expr: RangeLiteral) -> Type:
+        for endpoint, side in ((expr.start, "start"), (expr.stop, "stop")):
+            ty = self.check_expr(endpoint)
+            if not isinstance(ty, (IntType, ErrorType)):
+                self._err(f"range {side} must be an int, not a {ty}", endpoint)
+        return ArrayType(INT)
+
+    def _expr_Index(self, expr: Index) -> Type:
+        base_ty = self.check_expr(expr.base)
+        index_ty = self.check_expr(expr.index)
+        if isinstance(base_ty, ErrorType):
+            return ERROR
+        if isinstance(base_ty, DictType):
+            if not _is_error(index_ty) and index_ty != base_ty.key:
+                self._err(
+                    f"this dict is keyed by {base_ty.key}, not {index_ty}",
+                    expr.index,
+                )
+            return base_ty.value
+        if isinstance(base_ty, TupleType):
+            if not isinstance(expr.index, IntLiteral):
+                return self._err(
+                    "tuple elements are selected with a constant index "
+                    "(the element type must be known statically)",
+                    expr.index,
+                )
+            position = expr.index.value
+            if not 0 <= position < len(base_ty.elements):
+                return self._err(
+                    f"tuple index {position} is out of range for a "
+                    f"{len(base_ty.elements)}-tuple",
+                    expr.index,
+                )
+            return base_ty.elements[position]
+        if not isinstance(index_ty, (IntType, ErrorType)):
+            self._err(f"array index must be an int, not a {index_ty}", expr.index)
+        elem = element_of(base_ty)
+        if elem is None:
+            return self._err(f"cannot index into a {base_ty}", expr)
+        return elem
+
+    def _expr_Call(self, expr: Call) -> Type:
+        arg_types = [self.check_expr(a) for a in expr.args]
+        sig = self.symbols.functions.get(expr.func)
+        if sig is not None:
+            return self._check_user_call(expr, sig, arg_types)
+        info = self.symbols.classes.get(expr.func)
+        if info is not None:
+            return self._check_constructor(expr, info, arg_types)
+        builtin = self.builtins.get(expr.func)
+        if builtin is not None:
+            if _is_error(*arg_types):
+                return ERROR
+            try:
+                return builtin.check_types(tuple(arg_types))
+            except TetraTypeError as exc:
+                exc.span = expr.span
+                if self.source is not None:
+                    exc.attach_source(self.source)
+                self.errors.append(exc)
+                return ERROR
+        return self._name_err(f"there is no function named '{expr.func}'", expr)
+
+    def _check_user_call(self, expr: Call, sig: FunctionSignature,
+                         arg_types: list[Type]) -> Type:
+        if len(arg_types) != len(sig.param_types):
+            self._err(
+                f"'{sig.name}' takes {len(sig.param_types)} argument(s) "
+                f"but {len(arg_types)} were given",
+                expr,
+            )
+            return sig.return_type
+        for i, (got, want) in enumerate(zip(arg_types, sig.param_types)):
+            if _is_error(got):
+                continue
+            if not is_assignable(want, got):
+                self._err(
+                    f"argument {i + 1} of '{sig.name}' must be a {want}, "
+                    f"not a {got}",
+                    expr.args[i],
+                )
+        return sig.return_type
+
+    def _check_constructor(self, expr: Call, info: ClassInfo,
+                           arg_types: list[Type]) -> Type:
+        if len(arg_types) != len(info.field_types):
+            self._err(
+                f"'{info.name}' has {len(info.field_types)} field(s); the "
+                f"constructor takes them in declaration order "
+                f"({', '.join(info.field_names) or 'none'})",
+                expr,
+            )
+            return ClassType(info.name)
+        for i, (want, got) in enumerate(zip(info.field_types, arg_types)):
+            if _is_error(got):
+                continue
+            if not is_assignable(want, got):
+                self._err(
+                    f"field '{info.field_names[i]}' of '{info.name}' is a "
+                    f"{want}, not a {got}",
+                    expr.args[i],
+                )
+        return ClassType(info.name)
+
+    def _expr_Attribute(self, expr: Attribute) -> Type:
+        base_ty = self.check_expr(expr.base)
+        if _is_error(base_ty):
+            return ERROR
+        if not isinstance(base_ty, ClassType):
+            return self._err(
+                f"a {base_ty} has no fields ('.{expr.attr}' needs a class "
+                "instance)",
+                expr,
+            )
+        info = self.symbols.classes.get(base_ty.name)
+        if info is None:
+            return ERROR  # unknown class already diagnosed
+        field_ty = info.field_type(expr.attr)
+        if field_ty is None:
+            hint = (" (did you mean to call it?)"
+                    if expr.attr in info.methods else "")
+            return self._err(
+                f"class '{base_ty.name}' has no field '{expr.attr}'{hint}",
+                expr,
+            )
+        return field_ty
+
+    def _expr_MethodCall(self, expr: MethodCall) -> Type:
+        base_ty = self.check_expr(expr.base)
+        arg_types = [self.check_expr(a) for a in expr.args]
+        if _is_error(base_ty):
+            return ERROR
+        if not isinstance(base_ty, ClassType):
+            return self._err(
+                f"a {base_ty} has no methods ('.{expr.method}()' needs a "
+                "class instance)",
+                expr,
+            )
+        info = self.symbols.classes.get(base_ty.name)
+        if info is None:
+            return ERROR
+        sig = info.methods.get(expr.method)
+        if sig is None:
+            hint = (" (fields are read without parentheses)"
+                    if info.field_type(expr.method) is not None else "")
+            return self._err(
+                f"class '{base_ty.name}' has no method '{expr.method}'{hint}",
+                expr,
+            )
+        expected = sig.param_types[1:]
+        if len(arg_types) != len(expected):
+            self._err(
+                f"'{sig.name}' takes {len(expected)} argument(s) but "
+                f"{len(arg_types)} were given",
+                expr,
+            )
+            return sig.return_type
+        for i, (want, got) in enumerate(zip(expected, arg_types)):
+            if _is_error(got):
+                continue
+            if not is_assignable(want, got):
+                self._err(
+                    f"argument {i + 1} of '{sig.name}' must be a {want}, "
+                    f"not a {got}",
+                    expr.args[i],
+                )
+        return sig.return_type
+
+    def _expr_Unary(self, expr: Unary) -> Type:
+        operand = self.check_expr(expr.operand)
+        if isinstance(operand, ErrorType):
+            return ERROR
+        if expr.op is UnaryOp.NOT:
+            if not isinstance(operand, BoolType):
+                return self._err(f"'not' needs a bool, not a {operand}", expr)
+            return BOOL
+        if not operand.is_numeric:
+            return self._err(
+                f"unary '{expr.op.value}' needs a number, not a {operand}", expr
+            )
+        return operand
+
+    def _expr_BinOp(self, expr: BinOp) -> Type:
+        left = self.check_expr(expr.left)
+        right = self.check_expr(expr.right)
+        if _is_error(left, right):
+            return ERROR
+        return self._binop_result(expr.op, left, right, expr)
+
+    def _binop_result(self, op: BinaryOp, left: Type, right: Type, node) -> Type:
+        if op.is_logical:
+            if isinstance(left, BoolType) and isinstance(right, BoolType):
+                return BOOL
+            return self._err(
+                f"'{op.value}' needs bool operands, got {left} and {right}", node
+            )
+        if op.is_comparison:
+            return self._comparison_result(op, left, right, node)
+        # Arithmetic
+        if op is BinaryOp.ADD and isinstance(left, StringType) and isinstance(right, StringType):
+            return STRING
+        joined = numeric_join(left, right)
+        if joined is None:
+            extra = ""
+            if op is BinaryOp.ADD and (isinstance(left, StringType) or isinstance(right, StringType)):
+                extra = " (use str() to build strings from other values)"
+            return self._err(
+                f"'{op.value}' cannot combine {left} and {right}{extra}", node
+            )
+        if op is BinaryOp.POW:
+            return joined
+        return joined
+
+    def _comparison_result(self, op: BinaryOp, left: Type, right: Type, node) -> Type:
+        if numeric_join(left, right) is not None:
+            return BOOL
+        if op in (BinaryOp.EQ, BinaryOp.NE):
+            if left == right:
+                return BOOL
+            return self._err(
+                f"'{op.value}' cannot compare a {left} with a {right}", node
+            )
+        if isinstance(left, StringType) and isinstance(right, StringType):
+            return BOOL
+        return self._err(
+            f"'{op.value}' cannot order a {left} against a {right}", node
+        )
+
+
+def check_program(program: Program, source: SourceFile | None = None,
+                  builtins=None) -> ProgramSymbols:
+    """Type-check ``program``; raise the first diagnostic on failure."""
+    checker = TypeChecker(program, source, builtins)
+    symbols = checker.run()
+    if checker.errors:
+        raise checker.errors[0]
+    return symbols
+
+
+def collect_diagnostics(program: Program, source: SourceFile | None = None,
+                        builtins=None) -> list[TetraTypeError]:
+    """Type-check and return *all* diagnostics (the ``tetra check`` command)."""
+    checker = TypeChecker(program, source, builtins)
+    checker.run()
+    return checker.errors

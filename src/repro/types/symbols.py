@@ -1,0 +1,113 @@
+"""Symbol tables for the type checker.
+
+Two kinds of symbols exist at the type level:
+
+* **Function signatures** — global, gathered in a first pass so functions
+  can call each other regardless of definition order (Figure I calls
+  ``fact`` before its own ``main``).
+* **Local variables** — per function, created by flow-based inference: the
+  first assignment a top-down traversal encounters fixes the type (the
+  paper: "a simple flow-based algorithm suffices").
+
+Lock names form a third namespace but carry no type information, so the
+checker only records them for tooling (the debugger lists known locks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..source import NO_SPAN, Span
+from .types import Type
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """The type-level view of a user-defined function."""
+
+    name: str
+    param_names: tuple[str, ...]
+    param_types: tuple[Type, ...]
+    return_type: Type
+    span: Span = NO_SPAN
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{n} {t}" for n, t in zip(self.param_names, self.param_types))
+        return f"def {self.name}({params}) {self.return_type}"
+
+
+@dataclass
+class VariableInfo:
+    """A local variable's inferred type and where it was first assigned."""
+
+    name: str
+    type: Type
+    first_assigned: Span = NO_SPAN
+    is_parameter: bool = False
+    #: Induction variables of ``parallel for`` are thread-private at runtime;
+    #: the checker marks them so tooling can display them distinctly.
+    is_induction: bool = False
+
+
+class LocalScope:
+    """Flat, function-wide variable scope (Tetra has no block scoping,
+    matching Python's rule that beginners already know)."""
+
+    def __init__(self) -> None:
+        self._vars: dict[str, VariableInfo] = {}
+
+    def define(self, info: VariableInfo) -> None:
+        self._vars[info.name] = info
+
+    def lookup(self, name: str) -> VariableInfo | None:
+        return self._vars.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._vars)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vars
+
+    def snapshot(self) -> dict[str, Type]:
+        """Name → type map (used by the debugger's variable pane)."""
+        return {name: info.type for name, info in self._vars.items()}
+
+
+@dataclass
+class ClassInfo:
+    """Everything the checker learned about one class."""
+
+    name: str
+    field_names: tuple[str, ...]
+    field_types: tuple[Type, ...]
+    #: Method name → signature.  ``param_names[0]`` is always the implicit
+    #: ``self`` (of the class type); call sites pass the remaining params.
+    methods: dict[str, FunctionSignature] = field(default_factory=dict)
+    span: Span = NO_SPAN
+
+    def field_type(self, name: str) -> Type | None:
+        try:
+            return self.field_types[self.field_names.index(name)]
+        except ValueError:
+            return None
+
+    def __str__(self) -> str:
+        fields = ", ".join(
+            f"{n} {t}" for n, t in zip(self.field_names, self.field_types)
+        )
+        return f"class {self.name}({fields})"
+
+
+@dataclass
+class ProgramSymbols:
+    """Everything the checker learned about a program; attached to the
+    :class:`~repro.tetra_ast.Program` as ``program.symbols`` and consumed by
+    the interpreter, compiler, and IDE."""
+
+    functions: dict[str, FunctionSignature] = field(default_factory=dict)
+    classes: dict[str, "ClassInfo"] = field(default_factory=dict)
+    locals: dict[str, LocalScope] = field(default_factory=dict)
+    lock_names: set[str] = field(default_factory=set)
+
+    def scope_of(self, function_name: str) -> LocalScope:
+        return self.locals[function_name]

@@ -1,0 +1,204 @@
+"""Semantic types for Tetra.
+
+The paper's type system: ``int``, ``real``, ``string``, ``bool``, arrays of
+these (including multi-dimensional), and ``void`` for functions that return
+nothing.  Types are interned singletons where possible so identity
+comparison works, but ``==`` is structural (arrays compare by element type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tetra_ast import (
+    ArrayTypeExpr,
+    ClassTypeExpr,
+    DictTypeExpr,
+    PrimitiveTypeExpr,
+    TupleTypeExpr,
+    TypeExpr,
+)
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of all semantic types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        return "type"
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self, (IntType, RealType))
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class RealType(Type):
+    def __str__(self) -> str:
+        return "real"
+
+
+@dataclass(frozen=True)
+class StringType(Type):
+    def __str__(self) -> str:
+        return "string"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The 'returns nothing' type of a function without a return annotation."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class DictType(Type):
+    """Associative arrays ``{K: V}`` (the paper's future-work type).
+
+    Keys are restricted to ``int`` and ``string`` — the hashable primitives
+    with unsurprising equality; reals make treacherous keys and arrays are
+    mutable.
+    """
+
+    key: Type
+    value: Type
+
+    def __str__(self) -> str:
+        return f"{{{self.key}: {self.value}}}"
+
+
+@dataclass(frozen=True)
+class TupleType(Type):
+    """Fixed-arity heterogeneous tuples ``(T1, T2, ...)`` (future work).
+
+    Tuples are immutable values; elements are read with constant indexes
+    or by destructuring (``a, b = pair``).
+    """
+
+    elements: tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(t) for t in self.elements) + ")"
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    """A user-defined class, compared nominally by name (future work).
+
+    Field and method information lives in the program's
+    :class:`~repro.types.symbols.ClassInfo` table, not in the type itself,
+    so types stay tiny hashable values.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+
+    def __str__(self) -> str:
+        return f"[{self.element}]"
+
+    @property
+    def rank(self) -> int:
+        """Number of array dimensions (``[[int]]`` has rank 2)."""
+        inner = self.element
+        depth = 1
+        while isinstance(inner, ArrayType):
+            inner = inner.element
+            depth += 1
+        return depth
+
+
+#: Interned singletons for the primitive types.
+INT = IntType()
+REAL = RealType()
+STRING = StringType()
+BOOL = BoolType()
+VOID = VoidType()
+
+_PRIMITIVES = {"int": INT, "real": REAL, "string": STRING, "bool": BOOL}
+
+
+#: Types allowed as dict keys.
+VALID_KEY_TYPES = (IntType, StringType)
+
+
+def from_type_expr(expr: TypeExpr) -> Type:
+    """Resolve a syntactic type annotation to a semantic type."""
+    if isinstance(expr, PrimitiveTypeExpr):
+        return _PRIMITIVES[expr.name]
+    if isinstance(expr, ArrayTypeExpr):
+        return ArrayType(from_type_expr(expr.element))
+    if isinstance(expr, DictTypeExpr):
+        return DictType(from_type_expr(expr.key), from_type_expr(expr.value))
+    if isinstance(expr, TupleTypeExpr):
+        return TupleType(tuple(from_type_expr(e) for e in expr.elements))
+    if isinstance(expr, ClassTypeExpr):
+        return ClassType(expr.name)
+    raise TypeError(f"unknown type expression {expr!r}")
+
+
+def is_assignable(target: Type, value: Type) -> bool:
+    """Can a value of type ``value`` be stored where ``target`` is expected?
+
+    Exact match, plus the single implicit widening ``int -> real`` (the
+    conventional numeric-promotion rule; narrowing requires the explicit
+    ``int()`` builtin).  Arrays are invariant: ``[int]`` is *not* assignable
+    to ``[real]`` — element writes through the alias would corrupt it.
+    """
+    if target == value:
+        return True
+    if isinstance(target, RealType) and isinstance(value, IntType):
+        return True
+    # Tuples are immutable, so element-wise widening is sound (covariance
+    # cannot be observed through a write the way it could for arrays).
+    if (isinstance(target, TupleType) and isinstance(value, TupleType)
+            and len(target.elements) == len(value.elements)):
+        return all(
+            is_assignable(t, v)
+            for t, v in zip(target.elements, value.elements)
+        )
+    return False
+
+
+def numeric_join(a: Type, b: Type) -> Type | None:
+    """Result type of arithmetic between ``a`` and ``b`` (None if invalid)."""
+    if not (a.is_numeric and b.is_numeric):
+        return None
+    if isinstance(a, RealType) or isinstance(b, RealType):
+        return REAL
+    return INT
+
+
+def element_of(t: Type) -> Type | None:
+    """Element type when iterating or indexing ``t`` (None if not iterable).
+
+    Arrays yield their element; strings yield length-1 strings, which makes
+    ``for ch in s`` work — a small extension from the paper's future-work
+    string library.
+    """
+    if isinstance(t, ArrayType):
+        return t.element
+    if isinstance(t, StringType):
+        return STRING
+    if isinstance(t, DictType):
+        return t.key  # iterating a dict yields its keys, in sorted order
+    return None

@@ -1,0 +1,110 @@
+"""Public API tests (repro.api): the functions embedders call."""
+
+import pytest
+
+from repro import (
+    RuntimeConfig,
+    SimBackend,
+    TetraSyntaxError,
+    TetraTypeError,
+    check_source,
+    compile_source,
+    run_file,
+    run_source,
+)
+from repro.api import BACKEND_FACTORIES
+
+
+HELLO = 'def main():\n    print("hello")\n'
+
+
+class TestRunSource:
+    def test_returns_output(self):
+        result = run_source(HELLO)
+        assert result.output == "hello\n"
+        assert result.output_lines() == ["hello"]
+
+    def test_inputs(self):
+        result = run_source(
+            "def main():\n    print(read_int() * 2)\n", inputs=["21"]
+        )
+        assert result.output == "42\n"
+
+    def test_backend_by_name(self):
+        for name in BACKEND_FACTORIES:
+            assert run_source(HELLO, backend=name).output == "hello\n"
+
+    def test_backend_instance(self):
+        backend = SimBackend(cores=2)
+        result = run_source(HELLO, backend=backend)
+        assert result.backend is backend
+        assert backend.trace.total_work > 0
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_source(HELLO, backend="quantum")
+
+    def test_config_respected(self):
+        config = RuntimeConfig(num_workers=2)
+        result = run_source(
+            "def main():\n"
+            "    t = 0\n"
+            "    parallel for i in [1 ... 6]:\n"
+            "        lock t:\n"
+            "            t += 1\n"
+            "    print(t)\n",
+            config=config,
+        )
+        assert result.output == "6\n"
+
+    def test_syntax_error_raised(self):
+        with pytest.raises(TetraSyntaxError):
+            run_source("def main(:\n")
+
+    def test_type_error_raised(self):
+        with pytest.raises(TetraTypeError):
+            run_source("def main():\n    x = 1 + true\n")
+
+    def test_custom_entry_point(self):
+        result = run_source(
+            "def alt():\n    print(7)\n\ndef main():\n    print(1)\n",
+            entry="alt",
+        )
+        assert result.output == "7\n"
+
+    def test_symbols_exposed(self):
+        result = run_source("def main():\n    x = 1\n")
+        assert "main" in result.symbols.functions
+
+
+class TestCompileAndCheck:
+    def test_compile_source_returns_checked_program(self):
+        program, source = compile_source(HELLO)
+        assert program.function("main") is not None
+        assert hasattr(program, "symbols")
+
+    def test_check_source_clean(self):
+        assert check_source(HELLO) == []
+
+    def test_check_source_collects_type_errors(self):
+        errors = check_source("def main():\n    a = x\n    b = y\n")
+        assert len(errors) == 2
+
+    def test_check_source_syntax_error(self):
+        errors = check_source("def main(:\n")
+        assert len(errors) == 1
+        assert isinstance(errors[0], TetraSyntaxError)
+
+
+class TestRunFile:
+    def test_run_file(self, tmp_path):
+        path = tmp_path / "hello.ttr"
+        path.write_text(HELLO)
+        assert run_file(str(path)).output == "hello\n"
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.ttr"
+        path.write_text("def main():\n    x = nope\n")
+        with pytest.raises(TetraTypeError) as info:
+            run_file(str(path))
+        assert "bad.ttr" in info.value.render()

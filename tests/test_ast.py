@@ -1,0 +1,133 @@
+"""Tests for AST infrastructure: traversal, equality, dumping, visitors."""
+
+from repro.parser import parse_expression, parse_source
+from repro.tetra_ast import (
+    BinOp,
+    Call,
+    IntLiteral,
+    Name,
+    NodeTransformer,
+    NodeVisitor,
+    count_nodes,
+    dump,
+    node_equal,
+    walk,
+)
+
+
+SAMPLE = """\
+def double(x int) int:
+    return x * 2
+
+def main():
+    print(double(21))
+"""
+
+
+class TestWalk:
+    def test_walk_yields_all_nodes(self):
+        program = parse_source(SAMPLE)
+        kinds = {type(n).__name__ for n in walk(program)}
+        assert {"Program", "FunctionDef", "Param", "Return", "BinOp",
+                "Name", "IntLiteral", "Call"} <= kinds
+
+    def test_count_nodes_positive(self):
+        assert count_nodes(parse_expression("1 + 2 * 3")) == 5
+
+    def test_children_of_leaf(self):
+        leaf = parse_expression("x")
+        assert list(leaf.children()) == []
+
+
+class TestNodeEqual:
+    def test_identical_parses_equal(self):
+        assert node_equal(parse_source(SAMPLE), parse_source(SAMPLE))
+
+    def test_spans_ignored(self):
+        spaced = SAMPLE.replace("def main", "\n\ndef main")
+        assert node_equal(parse_source(SAMPLE), parse_source(spaced))
+
+    def test_value_difference_detected(self):
+        other = SAMPLE.replace("21", "22")
+        assert not node_equal(parse_source(SAMPLE), parse_source(other))
+
+    def test_structure_difference_detected(self):
+        other = SAMPLE.replace("x * 2", "x + 2")
+        assert not node_equal(parse_source(SAMPLE), parse_source(other))
+
+    def test_different_node_types(self):
+        assert not node_equal(parse_expression("1"), parse_expression("x"))
+
+
+class TestDump:
+    def test_dump_mentions_node_types_and_values(self):
+        text = dump(parse_source(SAMPLE))
+        assert "FunctionDef" in text
+        assert "name='double'" in text
+        assert "IntLiteral" in text
+
+    def test_dump_with_spans(self):
+        text = dump(parse_source(SAMPLE), include_spans=True)
+        assert "@1:" in text
+
+    def test_dump_indents_children(self):
+        text = dump(parse_expression("f(1)"))
+        lines = text.split("\n")
+        assert lines[0].startswith("Call")
+        assert lines[1].startswith("  ")
+
+
+class TestVisitors:
+    def test_visitor_dispatch(self):
+        seen = []
+
+        class Collector(NodeVisitor):
+            def visit_IntLiteral(self, node):
+                seen.append(node.value)
+
+            def visit_Call(self, node):
+                seen.append(node.func)
+                self.generic_visit(node)
+
+        Collector().visit(parse_source(SAMPLE))
+        assert "print" in seen
+        assert 21 in seen
+
+    def test_generic_visit_recurses(self):
+        count = 0
+
+        class Counter(NodeVisitor):
+            def generic_visit(self, node):
+                nonlocal count
+                count += 1
+                super().generic_visit(node)
+
+        Counter().visit(parse_expression("1 + 2"))
+        assert count == 3
+
+    def test_transformer_replaces_nodes(self):
+        class ConstantFold(NodeTransformer):
+            def visit_BinOp(self, node):
+                self.generic_visit(node)
+                if (isinstance(node.left, IntLiteral)
+                        and isinstance(node.right, IntLiteral)):
+                    from repro.tetra_ast import BinaryOp
+
+                    if node.op is BinaryOp.ADD:
+                        return IntLiteral(value=node.left.value + node.right.value)
+                return node
+
+        result = ConstantFold().visit(parse_expression("1 + 2"))
+        assert isinstance(result, IntLiteral)
+        assert result.value == 3
+
+    def test_transformer_in_statement_lists(self):
+        program = parse_source("def main():\n    x = 1 + 2\n")
+
+        class Fold(NodeTransformer):
+            def visit_BinOp(self, node):
+                return IntLiteral(value=3)
+
+        Fold().visit(program)
+        stmt = program.functions[0].body.statements[0]
+        assert isinstance(stmt.value, IntLiteral)

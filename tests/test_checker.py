@@ -1,0 +1,522 @@
+"""Type checker tests: the accept/reject matrix for Tetra's static rules."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import TetraNameError, TetraTypeError
+from repro.parser import parse_source
+from repro.source import SourceFile
+from repro.types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    ArrayType,
+    check_program,
+    collect_diagnostics,
+)
+
+
+def check(text: str):
+    """Check dedented source; returns the symbol table (raises on error)."""
+    text = textwrap.dedent(text)
+    source = SourceFile.from_string(text)
+    program = parse_source(source)
+    return program, check_program(program, source)
+
+
+def errors_of(text: str) -> list[str]:
+    text = textwrap.dedent(text)
+    source = SourceFile.from_string(text)
+    program = parse_source(source)
+    return [e.message for e in collect_diagnostics(program, source)]
+
+
+def reject(text: str, match: str):
+    msgs = errors_of(text)
+    assert msgs, f"expected an error matching {match!r}, got none"
+    assert any(match in m for m in msgs), msgs
+
+
+def accept(text: str):
+    msgs = errors_of(text)
+    assert msgs == [], msgs
+
+
+def in_main(body: str) -> str:
+    indented = textwrap.indent(textwrap.dedent(body).strip("\n"), "    ")
+    return f"def main():\n{indented}\n"
+
+
+class TestInference:
+    def test_literal_types(self):
+        program, symbols = check("""
+            def main():
+                i = 1
+                r = 1.5
+                s = "x"
+                b = true
+        """)
+        scope = symbols.scope_of("main")
+        assert scope.lookup("i").type == INT
+        assert scope.lookup("r").type == REAL
+        assert scope.lookup("s").type == STRING
+        assert scope.lookup("b").type == BOOL
+
+    def test_array_inference(self):
+        _, symbols = check("def main():\n    xs = [1, 2, 3]\n")
+        assert symbols.scope_of("main").lookup("xs").type == ArrayType(INT)
+
+    def test_mixed_numeric_array_becomes_real(self):
+        _, symbols = check("def main():\n    xs = [1, 2.5]\n")
+        assert symbols.scope_of("main").lookup("xs").type == ArrayType(REAL)
+
+    def test_range_is_int_array(self):
+        _, symbols = check("def main():\n    r = [1 ... 5]\n")
+        assert symbols.scope_of("main").lookup("r").type == ArrayType(INT)
+
+    def test_inference_from_expression(self):
+        _, symbols = check("""
+            def main():
+                x = 2
+                y = x * 3 + 1
+                z = x / 2
+        """)
+        scope = symbols.scope_of("main")
+        assert scope.lookup("y").type == INT
+        assert scope.lookup("z").type == INT  # int division stays int
+
+    def test_int_real_promotion(self):
+        _, symbols = check("def main():\n    x = 1 + 2.0\n")
+        assert symbols.scope_of("main").lookup("x").type == REAL
+
+    def test_reassignment_same_type_ok(self):
+        accept(in_main("x = 1\nx = 2"))
+
+    def test_int_var_accepts_no_real(self):
+        reject(in_main("x = 1\nx = 2.5"), "cannot hold")
+
+    def test_real_var_accepts_int(self):
+        accept(in_main("x = 1.5\nx = 2"))
+
+    def test_use_before_assignment(self):
+        reject(in_main("y = x + 1"), "not defined")
+
+    def test_type_fixed_by_first_branch(self):
+        reject("""
+            def main():
+                if true:
+                    x = 1
+                else:
+                    x = 1.5
+        """, "cannot hold")
+
+    def test_function_result_type(self):
+        _, symbols = check("""
+            def f() real:
+                return 1.5
+
+            def main():
+                x = f()
+        """)
+        assert symbols.scope_of("main").lookup("x").type == REAL
+
+    def test_void_result_unassignable(self):
+        reject("""
+            def nothing():
+                pass
+
+            def main():
+                x = nothing()
+        """, "returns nothing")
+
+    def test_loop_variable_type(self):
+        _, symbols = check("""
+            def main():
+                for x in [1.0, 2.0]:
+                    y = x
+        """)
+        assert symbols.scope_of("main").lookup("x").type == REAL
+
+    def test_string_iteration_yields_strings(self):
+        _, symbols = check("""
+            def main():
+                for c in "abc":
+                    y = c
+        """)
+        assert symbols.scope_of("main").lookup("c").type == STRING
+
+
+class TestOperators:
+    def test_string_concatenation(self):
+        accept(in_main('s = "a" + "b"'))
+
+    def test_string_plus_int_rejected(self):
+        reject(in_main('s = "a" + 1'), "cannot combine")
+
+    def test_string_times_int_rejected(self):
+        reject(in_main('s = "a" * 2'), "cannot combine")
+
+    def test_logical_needs_bools(self):
+        reject(in_main("x = 1 and 2"), "bool operands")
+        accept(in_main("x = true and false or true"))
+
+    def test_not_needs_bool(self):
+        reject(in_main("x = not 1"), "'not' needs a bool")
+
+    def test_comparisons_yield_bool(self):
+        _, symbols = check(in_main("b = 1 < 2"))
+        assert symbols.scope_of("main").lookup("b").type == BOOL
+
+    def test_mixed_numeric_comparison(self):
+        accept(in_main("b = 1 < 2.5"))
+
+    def test_string_ordering(self):
+        accept(in_main('b = "a" < "b"'))
+
+    def test_cross_type_equality_rejected(self):
+        reject(in_main('b = 1 == "1"'), "cannot compare")
+
+    def test_bool_ordering_rejected(self):
+        reject(in_main("b = true < false"), "cannot order")
+
+    def test_array_equality_same_type(self):
+        accept(in_main("b = [1] == [2]"))
+
+    def test_array_equality_different_types_rejected(self):
+        reject(in_main('b = [1] == ["a"]'), "cannot compare")
+
+    def test_unary_minus_on_string_rejected(self):
+        reject(in_main('x = -"s"'), "needs a number")
+
+    def test_chained_comparison_rejected(self):
+        # (a < b) < c would compare bool with int.
+        reject(in_main("x = 1 < 2 < 3"), "cannot order")
+
+
+class TestFunctions:
+    def test_call_before_definition(self):
+        accept("""
+            def main():
+                helper()
+
+            def helper():
+                pass
+        """)
+
+    def test_arity_mismatch(self):
+        reject("""
+            def f(a int):
+                pass
+
+            def main():
+                f(1, 2)
+        """, "takes 1 argument")
+
+    def test_argument_type_mismatch(self):
+        reject("""
+            def f(a int):
+                pass
+
+            def main():
+                f("no")
+        """, "must be a int")
+
+    def test_int_widens_to_real_argument(self):
+        accept("""
+            def f(a real):
+                pass
+
+            def main():
+                f(1)
+        """)
+
+    def test_real_does_not_narrow_to_int(self):
+        reject("""
+            def f(a int):
+                pass
+
+            def main():
+                f(1.5)
+        """, "must be a int")
+
+    def test_array_invariance(self):
+        reject("""
+            def f(a [real]):
+                pass
+
+            def main():
+                f([1, 2])
+        """, "must be a [real]")
+
+    def test_unknown_function(self):
+        reject(in_main("mystery()"), "no function named")
+
+    def test_function_used_as_variable(self):
+        reject("""
+            def f():
+                pass
+
+            def main():
+                x = f + 1
+        """, "parentheses")
+
+    def test_duplicate_function(self):
+        reject("""
+            def f():
+                pass
+
+            def f():
+                pass
+
+            def main():
+                pass
+        """, "more than once")
+
+    def test_duplicate_parameter(self):
+        reject("def f(a int, a int):\n    pass\n", "repeats a parameter")
+
+    def test_user_function_shadows_builtin(self):
+        accept("""
+            def max(a int, b int) int:
+                if a > b:
+                    return a
+                return b
+
+            def main():
+                print(max(1, 2))
+        """)
+
+
+class TestReturns:
+    def test_missing_return(self):
+        reject("def f() int:\n    x = 1\n", "not every path")
+
+    def test_return_in_both_branches(self):
+        accept("""
+            def f(x int) int:
+                if x > 0:
+                    return 1
+                else:
+                    return 2
+        """)
+
+    def test_if_without_else_does_not_count(self):
+        reject("""
+            def f(x int) int:
+                if x > 0:
+                    return 1
+        """, "not every path")
+
+    def test_elif_chain_needs_else(self):
+        reject("""
+            def f(x int) int:
+                if x > 0:
+                    return 1
+                elif x < 0:
+                    return 2
+        """, "not every path")
+
+    def test_return_through_lock(self):
+        accept("""
+            def f() int:
+                lock guard:
+                    return 1
+        """)
+
+    def test_while_does_not_guarantee_return(self):
+        reject("""
+            def f() int:
+                while true:
+                    return 1
+        """, "not every path")
+
+    def test_value_type_checked(self):
+        reject('def f() int:\n    return "no"\n', "returns int")
+
+    def test_bare_return_in_typed_function(self):
+        reject("def f() int:\n    return\n", "must return a int")
+
+    def test_value_in_void_function(self):
+        reject("def f():\n    return 1\n", "must not carry a value")
+
+    def test_int_widens_to_real_return(self):
+        accept("def f() real:\n    return 1\n")
+
+
+class TestParallelRules:
+    def test_return_inside_parallel_rejected(self):
+        reject("""
+            def f() int:
+                parallel:
+                    return 1
+                return 2
+        """, "not allowed inside a parallel")
+
+    def test_return_inside_background_rejected(self):
+        reject(in_main("background:\n    return"), "not allowed inside")
+
+    def test_return_inside_parallel_for_rejected(self):
+        reject("""
+            def f(xs [int]) int:
+                parallel for x in xs:
+                    return x
+                return 0
+        """, "not allowed inside")
+
+    def test_break_cannot_cross_parallel_for(self):
+        reject("""
+            def main():
+                parallel for x in [1, 2]:
+                    break
+        """, "'break' outside a loop")
+
+    def test_break_in_loop_inside_parallel_ok(self):
+        accept("""
+            def main():
+                parallel for x in [1, 2]:
+                    while true:
+                        break
+        """)
+
+    def test_continue_outside_loop(self):
+        reject(in_main("continue"), "'continue' outside a loop")
+
+    def test_break_outside_loop(self):
+        reject(in_main("break"), "'break' outside a loop")
+
+    def test_lock_names_recorded(self):
+        _, symbols = check("""
+            def main():
+                lock a:
+                    pass
+                lock b:
+                    pass
+        """)
+        assert symbols.lock_names == {"a", "b"}
+
+    def test_parallel_shares_scope(self):
+        # Figure II: results assigned in parallel are visible after.
+        accept("""
+            def main():
+                parallel:
+                    a = 1
+                    b = 2
+                print(a + b)
+        """)
+
+    def test_induction_variable_flagged(self):
+        _, symbols = check("""
+            def main():
+                parallel for i in [1 ... 4]:
+                    x = i
+        """)
+        assert symbols.scope_of("main").lookup("i").is_induction
+
+    def test_loop_over_non_sequence(self):
+        reject(in_main("for x in 5:\n    pass"), "cannot loop over")
+
+
+class TestArraysAndIndexing:
+    def test_index_yields_element(self):
+        _, symbols = check(in_main("x = [[1], [2]][0][0]"))
+        assert symbols.scope_of("main").lookup("x").type == INT
+
+    def test_index_must_be_int(self):
+        reject(in_main("x = [1, 2][1.5]"), "index must be an int")
+
+    def test_indexing_non_array(self):
+        reject(in_main("x = 5\ny = x[0]"), "cannot index")
+
+    def test_string_indexing_allowed(self):
+        _, symbols = check(in_main('c = "abc"[1]'))
+        assert symbols.scope_of("main").lookup("c").type == STRING
+
+    def test_element_store_type(self):
+        reject(in_main('xs = [1]\nxs[0] = "s"'), "cannot store")
+
+    def test_element_store_widening(self):
+        accept(in_main("xs = [1.0]\nxs[0] = 2"))
+
+    def test_empty_array_literal_rejected(self):
+        reject(in_main("xs = []"), "empty array literal")
+
+    def test_heterogeneous_array_rejected(self):
+        reject(in_main('xs = [1, "a"]'), "mixes int and string")
+
+    def test_range_endpoints_must_be_int(self):
+        reject(in_main("r = [1.5 ... 2]"), "range start must be an int")
+
+
+class TestConditionsAndMain:
+    def test_if_condition_must_be_bool(self):
+        reject(in_main("if 1:\n    pass"), "must be a bool")
+
+    def test_while_condition_must_be_bool(self):
+        reject(in_main("while 1:\n    pass"), "must be a bool")
+
+    def test_main_with_parameters_rejected(self):
+        reject("def main(x int):\n    pass\n", "must not take parameters")
+
+    def test_main_with_return_type_rejected(self):
+        reject("def main() int:\n    return 1\n", "must not declare")
+
+    def test_error_recovery_collects_multiple(self):
+        msgs = errors_of("""
+            def main():
+                a = undefined_one
+                b = undefined_two
+        """)
+        assert len(msgs) == 2
+
+    def test_error_cascades_suppressed(self):
+        # The undefined name is one error; uses of 'a' after recovery are not.
+        msgs = errors_of("""
+            def main():
+                a = mystery
+                b = a + 1
+                c = a * b
+        """)
+        assert len(msgs) == 1
+
+    def test_diagnostics_carry_spans(self):
+        source = SourceFile.from_string("def main():\n    x = nope\n")
+        program = parse_source(source)
+        diags = collect_diagnostics(program, source)
+        assert diags[0].span.line == 2
+        assert "nope" in diags[0].render()
+
+
+class TestBuiltinSignatures:
+    def test_print_accepts_anything(self):
+        accept(in_main('print(1, "a", true, [1.0])'))
+
+    def test_len_on_array_and_string(self):
+        accept(in_main('n = len([1]) + len("abc")'))
+
+    def test_len_on_int_rejected(self):
+        reject(in_main("n = len(5)"), "len() takes one array, string, or dict")
+
+    def test_read_int_no_args(self):
+        reject(in_main("n = read_int(1)"), "no arguments")
+
+    def test_sqrt_takes_real_or_int(self):
+        accept(in_main("x = sqrt(2)\ny = sqrt(2.5)"))
+
+    def test_sqrt_rejects_string(self):
+        reject(in_main('x = sqrt("2")'), "must be a real")
+
+    def test_array_builtin_polymorphic(self):
+        _, symbols = check(in_main('xs = array(3, "a")'))
+        assert symbols.scope_of("main").lookup("xs").type == ArrayType(STRING)
+
+    def test_sum_preserves_element_type(self):
+        _, symbols = check(in_main("t = sum([1.0, 2.0])"))
+        assert symbols.scope_of("main").lookup("t").type == REAL
+
+    def test_abs_keeps_intness(self):
+        _, symbols = check(in_main("a = abs(-3)\nb = abs(-3.5)"))
+        scope = symbols.scope_of("main")
+        assert scope.lookup("a").type == INT
+        assert scope.lookup("b").type == REAL

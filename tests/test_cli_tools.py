@@ -1,0 +1,119 @@
+"""CLI tests for the analysis tooling: ``tetra sim``, ``tetra fmt``, and
+the Gantt renderer they share."""
+
+import pytest
+
+from repro.tools.cli import main
+from repro.runtime.cost import FREE_PARALLELISM
+from repro.runtime.gantt import render_gantt
+from repro.runtime.machine import Machine
+from repro.runtime.taskgraph import Fork, Task, Work
+from repro.programs import FIGURE_2_PARALLEL_SUM, primes_program
+
+
+@pytest.fixture
+def prog(tmp_path):
+    def write(text, name="prog.ttr"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestSimCommand:
+    def test_speedup_table(self, prog, capsys):
+        assert main(["sim", prog(primes_program(300)), "--cores", "1,2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "62" in out or "cores" in out
+        lines = out.strip().split("\n")
+        assert lines[0].strip() == "62"  # program output first
+        assert "cores" in lines[1]
+        assert any(line.strip().startswith("4") for line in lines)
+
+    def test_timeline_gantt(self, prog, capsys):
+        assert main(["sim", prog(primes_program(300)), "--cores", "1,4",
+                     "--timeline", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "core 0 |" in out
+        assert "legend:" in out
+        assert "utilization" in out
+
+    def test_bad_cores_argument(self, prog, capsys):
+        assert main(["sim", prog(primes_program(100)), "--cores", "x,y"]) == 2
+
+    def test_compile_error_reported(self, prog, capsys):
+        assert main(["sim", prog("def main():\n    x = nope\n")]) == 1
+        assert "name error" in capsys.readouterr().err
+
+    def test_workers_and_chunking_options(self, prog, capsys):
+        assert main(["sim", prog(primes_program(200)), "--cores", "1,2",
+                     "--workers", "2", "--chunking", "cyclic"]) == 0
+
+
+class TestFmtCommand:
+    MESSY = (
+        "def   main():\n"
+        "    x=1+2 *3\n"
+        "    print((x))\n"
+    )
+
+    def test_fmt_to_stdout(self, prog, capsys):
+        assert main(["fmt", prog(self.MESSY)]) == 0
+        out = capsys.readouterr().out
+        assert "x = 1 + 2 * 3" in out
+        assert "print(x)" in out
+
+    def test_fmt_write_in_place(self, prog, capsys, tmp_path):
+        path = prog(self.MESSY)
+        assert main(["fmt", path, "--write"]) == 0
+        content = open(path).read()
+        assert "x = 1 + 2 * 3" in content
+        # Idempotent: formatting again changes nothing.
+        assert main(["fmt", path, "--write"]) == 0
+        assert open(path).read() == content
+
+    def test_fmt_preserves_figure2_meaning(self, prog, capsys):
+        path = prog(FIGURE_2_PARALLEL_SUM)
+        assert main(["fmt", path, "--write"]) == 0
+        capsys.readouterr()
+        assert main(["run", path]) == 0
+        assert capsys.readouterr().out == "5050\n"
+
+    def test_fmt_syntax_error(self, prog, capsys):
+        assert main(["fmt", prog("def broken(:\n")]) == 1
+
+
+class TestGanttRenderer:
+    def build_result(self, cores=2):
+        root = Task(0, "main")
+        children = [Task(1, "left", [Work(40)]), Task(2, "right", [Work(40)])]
+        root.items.append(Work(10))
+        root.items.append(Fork(children, join=True))
+        return Machine(cores, FREE_PARALLELISM).run(root)
+
+    def test_rows_per_core(self):
+        text = render_gantt(self.build_result(cores=3), width=30)
+        assert text.count("core ") == 3
+
+    def test_legend_names_tasks(self):
+        text = render_gantt(self.build_result(), width=30)
+        assert "A=main" in text
+        assert "left" in text and "right" in text
+
+    def test_width_respected(self):
+        text = render_gantt(self.build_result(), width=24)
+        row = text.split("\n")[0]
+        bar = row.split("|")[1]
+        assert len(bar) == 24
+
+    def test_idle_cores_shown_as_dots(self):
+        result = self.build_result(cores=4)  # only 2 tasks can run at once
+        text = render_gantt(result, width=20)
+        rows = [line for line in text.split("\n") if line.startswith("core")]
+        assert any(set(row.split("|")[1]) == {"."} for row in rows)
+
+    def test_empty_schedule(self):
+        root = Task(0, "empty")
+        result = Machine(1, FREE_PARALLELISM).run(root)
+        assert render_gantt(result) == "(empty schedule)"

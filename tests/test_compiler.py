@@ -1,0 +1,235 @@
+"""Compiler tests: generated-code structure plus interpreter differentials.
+
+The strongest check is differential: for every program, the compiled
+module's output must equal the interpreter's byte for byte.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.api import run_source
+from repro.compiler import compile_to_python, load_compiled, run_compiled
+from repro.errors import TetraDeadlockError, TetraIndexError
+from repro.programs import ALL_PROGRAMS
+from repro.stdlib.io import CapturingIO
+
+
+def differential(text: str, inputs=None):
+    text = textwrap.dedent(text)
+    interpreted = run_source(text, inputs=list(inputs or [])).output
+    compiled = run_compiled(text, inputs=list(inputs or [])).output
+    assert compiled == interpreted, (
+        f"compiled {compiled!r} != interpreted {interpreted!r}"
+    )
+    return compiled
+
+
+class TestGeneratedCode:
+    def test_module_is_valid_python(self):
+        code = compile_to_python(ALL_PROGRAMS["figure1_factorial"])
+        compile(code, "<test>", "exec")  # must not raise
+
+    def test_functions_are_mangled(self):
+        code = compile_to_python("def fact(x int) int:\n    return x\n")
+        assert "def t_fact(v_x):" in code
+
+    def test_int_division_lowered_to_helper(self):
+        code = compile_to_python(
+            "def main():\n    x = 7 / 2\n"
+        )
+        assert "rt.int_div" in code
+
+    def test_real_division_lowered_to_checked_helper(self):
+        code = compile_to_python(
+            "def main():\n    x = 7.0 / 2.0\n"
+        )
+        assert "rt.real_div" in code
+
+    def test_parallel_block_emits_nonlocal(self):
+        code = compile_to_python(textwrap.dedent("""
+            def main():
+                parallel:
+                    a = 1
+                    b = 2
+                print(a + b)
+        """))
+        assert "nonlocal v_a" in code
+        assert "v_a = None" in code  # pre-initialized for the nonlocal
+        assert "run_group" in code
+
+    def test_parallel_for_worker_function(self):
+        code = compile_to_python(textwrap.dedent("""
+            def main():
+                parallel for i in [1 ... 4]:
+                    x = i
+        """))
+        assert "run_parallel_for" in code
+        assert "nonlocal v_x" in code
+
+    def test_lock_emits_context_manager(self):
+        code = compile_to_python(textwrap.dedent("""
+            def main():
+                lock guard:
+                    x = 1
+        """))
+        assert "_rt.lock('guard'" in code or '_rt.lock("guard"' in code
+
+    def test_module_exposes_run(self):
+        namespace = load_compiled(
+            compile_to_python("def main():\n    print(1)\n")
+        )
+        assert callable(namespace["run"])
+
+    def test_run_twice_fresh_state(self):
+        namespace = load_compiled(compile_to_python(textwrap.dedent("""
+            def main():
+                x = 0
+                lock a:
+                    x = 1
+                print(x)
+        """)))
+        first = CapturingIO()
+        second = CapturingIO()
+        namespace["run"](io=first)
+        namespace["run"](io=second)
+        assert first.output == second.output == "1\n"
+
+
+class TestDifferentials:
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_canonical_programs(self, name):
+        differential(ALL_PROGRAMS[name], inputs=["6"])
+
+    def test_numeric_torture(self):
+        differential("""
+            def main():
+                print(7 / 2, " ", -7 / 2, " ", 7 % 3, " ", -7 % 3)
+                print(2 ** 10, " ", 2 ** -1, " ", 2.5 ** 2)
+                print(1 / 3, " ", 1.0 / 3.0)
+                print(10 % 4, " ", 10.5 % 4.0)
+        """)
+
+    def test_string_handling(self):
+        differential("""
+            def main():
+                s = "hello" + " " + "world"
+                print(upper(s), " ", len(s))
+                print(substring(s, 0, 5))
+                print(split(s, " ")[1])
+                print(s[4])
+        """)
+
+    def test_control_flow(self):
+        differential("""
+            def classify(n int) string:
+                if n < 0:
+                    return "neg"
+                elif n == 0:
+                    return "zero"
+                else:
+                    return "pos"
+
+            def main():
+                for n in [-2, 0, 7]:
+                    print(classify(n))
+                i = 0
+                while true:
+                    i += 1
+                    if i > 3:
+                        break
+                print(i)
+        """)
+
+    def test_arrays_and_builtins(self):
+        differential("""
+            def main():
+                xs = array(5, 1)
+                fill(xs, 3)
+                xs[2] = 10
+                print(xs, " ", sum(xs), " ", largest(xs))
+                print(sort([3, 1, 2]), " ", reversed([1, 2, 3]))
+                print(index_of([5, 6], 6), " ", concat([1], [2]))
+        """)
+
+    def test_widening_consistency(self):
+        differential("""
+            def f(x real) real:
+                return x / 2
+
+            def main():
+                r = 1.5
+                r = 4
+                print(r, " ", f(3))
+                xs = [1.0]
+                xs[0] = 7
+                print(xs)
+        """)
+
+    def test_recursion(self):
+        differential("""
+            def ack(m int, n int) int:
+                if m == 0:
+                    return n + 1
+                if n == 0:
+                    return ack(m - 1, 1)
+                return ack(m - 1, ack(m, n - 1))
+
+            def main():
+                print(ack(2, 3))
+        """)
+
+    def test_io_differential(self):
+        differential("""
+            def main():
+                a = read_int()
+                b = read_real()
+                s = read_string()
+                print(a, " ", b, " ", s)
+        """, inputs=["3", "2.5", "words here"])
+
+    def test_parallel_reduction(self):
+        differential("""
+            def main():
+                total = 0
+                parallel for i in [1 ... 100]:
+                    lock total:
+                        total += i
+                print(total)
+        """)
+
+
+class TestCompiledRuntimeBehaviour:
+    def test_runtime_errors_preserved(self):
+        with pytest.raises(TetraIndexError):
+            run_compiled("def main():\n    print([1][5])\n")
+
+    def test_deadlock_detection_works_compiled(self):
+        # Self re-entry is deterministic even with real threads.
+        with pytest.raises(TetraDeadlockError, match="not re-entrant"):
+            run_compiled(textwrap.dedent("""
+                def main():
+                    lock a:
+                        lock a:
+                            x = 1
+            """))
+
+    def test_worker_and_chunking_options(self):
+        out = run_compiled(textwrap.dedent("""
+            def main():
+                total = 0
+                parallel for i in [1 ... 20]:
+                    lock t:
+                        total += i
+                print(total)
+        """), num_workers=3, chunking="cyclic")
+        assert out.output == "210\n"
+
+    def test_background_joined_at_exit(self):
+        out = run_compiled(textwrap.dedent("""
+            def main():
+                background:
+                    print("late")
+                print("early")
+        """))
+        assert sorted(out.lines()) == ["early", "late"]

@@ -1,0 +1,252 @@
+"""DebugSession tests: the paper's per-thread stepping debugger."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import TetraDeadlockError, TetraThreadError
+from repro.ide.debugger import DebugSession
+from repro.programs import DEADLOCK_DEMO
+
+
+def session(text, inputs=None, **kwargs) -> DebugSession:
+    s = DebugSession(textwrap.dedent(text), inputs, **kwargs)
+    s.start()
+    return s
+
+
+SIMPLE = """
+def main():
+    x = 1
+    y = 2
+    print(x + y)
+"""
+
+PARALLEL = """
+def main():
+    x = 0
+    parallel:
+        x = x + 10
+        x = x + 100
+    print(x)
+"""
+
+
+class TestLifecycle:
+    def test_starts_paused_at_first_statement(self):
+        s = session(SIMPLE)
+        views = s.threads()
+        assert len(views) == 1
+        assert views[0].label == "main thread"
+        assert views[0].line == 3  # 'x = 1'
+        assert not s.finished
+        s.stop()
+
+    def test_cannot_start_twice(self):
+        s = session(SIMPLE)
+        with pytest.raises(TetraThreadError):
+            s.start()
+        s.stop()
+
+    def test_continue_to_completion(self):
+        s = session(SIMPLE)
+        s.continue_all()
+        assert s.finished
+        assert s.output == "3\n"
+        assert s.error is None
+
+    def test_finished_program_reports_runtime_error(self):
+        s = session("""
+            def main():
+                x = 0
+                print(1 / x)
+        """)
+        with pytest.raises(Exception):
+            s.continue_all()
+        assert s.error is not None
+
+
+class TestStepping:
+    def test_single_steps_advance_one_statement(self):
+        s = session(SIMPLE)
+        tid = s.threads()[0].id
+        view = s.step(tid)
+        assert view.line == 4
+        assert view.variables == {"x": "1"}
+        view = s.step(tid)
+        assert view.line == 5
+        assert view.variables == {"x": "1", "y": "2"}
+        s.stop()
+
+    def test_multi_step(self):
+        s = session(SIMPLE)
+        tid = s.threads()[0].id
+        view = s.step(tid, 2)
+        assert view.variables == {"x": "1", "y": "2"}
+        s.stop()
+
+    def test_output_accumulates_during_run(self):
+        s = session(SIMPLE)
+        tid = s.threads()[0].id
+        s.step(tid, 2)
+        assert s.output == ""
+        s.continue_all()
+        assert s.output == "3\n"
+
+    def test_statement_counts_tracked(self):
+        s = session(SIMPLE)
+        tid = s.threads()[0].id
+        s.step(tid, 2)
+        assert s.thread(tid).statements_run >= 2
+        s.stop()
+
+
+class TestPerThreadViews:
+    def test_threads_appear_after_spawn(self):
+        s = session(PARALLEL)
+        tid = s.threads()[0].id
+        s.step(tid, 2)  # x = 0; parallel:
+        views = s.threads()
+        labels = [v.label for v in views]
+        assert len(views) == 3
+        assert any("parallel thread 1" in label for label in labels)
+        assert views[0].state == "waiting to join children"
+        s.stop()
+
+    def test_independent_stepping(self):
+        s = session(PARALLEL)
+        main_id = s.threads()[0].id
+        s.step(main_id, 2)
+        t1, t2 = [v.id for v in s.threads() if "parallel" in v.label]
+        # Step only thread 2; thread 1 must not move.
+        before = s.thread(t1).statements_run
+        s.step(t2)
+        assert s.thread(t1).statements_run == before
+        assert s.evaluate(t1, "x") == "100"
+        s.stop()
+
+    def test_backtrace_shows_call_chain(self):
+        s = session("""
+            def inner(v int) int:
+                return v * 2
+
+            def outer(v int) int:
+                return inner(v + 1)
+
+            def main():
+                print(outer(1))
+        """)
+        tid = s.threads()[0].id
+        # Step until we are inside inner(): its 'return' is line 3.
+        for _ in range(10):
+            view = s.thread(tid)
+            if view.function == "inner":
+                break
+            s.step(tid)
+        view = s.thread(tid)
+        assert [f.function for f in view.backtrace] == ["main", "outer", "inner"]
+        s.stop()
+
+    def test_evaluate_in_thread_scope(self):
+        s = session(SIMPLE)
+        tid = s.threads()[0].id
+        s.step(tid, 2)
+        assert s.evaluate(tid, "x + y") == "3"
+        assert s.evaluate(tid, "x * 10 > 5") == "true"
+        s.stop()
+
+    def test_evaluate_sees_private_induction_variable(self):
+        s = session("""
+            def main():
+                total = 0
+                parallel for i in [5, 6]:
+                    lock t:
+                        total += i
+                print(total)
+        """, num_workers=2)
+        main_id = s.threads()[0].id
+        s.step(main_id, 2)
+        workers = [v.id for v in s.threads() if "worker" in v.label]
+        values = sorted(s.evaluate(w, "i") for w in workers)
+        assert values == ["5", "6"]
+        s.stop()
+
+
+class TestBreakpoints:
+    def test_continue_stops_at_breakpoint(self):
+        s = session(SIMPLE)
+        s.add_breakpoint(5)
+        s.continue_all()
+        assert not s.finished
+        view = s.threads()[0]
+        assert view.line == 5
+        assert view.variables == {"x": "1", "y": "2"}
+        s.remove_breakpoint(5)
+        s.continue_all()
+        assert s.finished
+
+    def test_run_thread_respects_breakpoints(self):
+        s = session(SIMPLE)
+        s.add_breakpoint(4)
+        tid = s.threads()[0].id
+        view = s.run_thread(tid)
+        assert view.line == 4
+        s.stop()
+
+    def test_run_thread_to_completion(self):
+        s = session(SIMPLE)
+        tid = s.threads()[0].id
+        s.run_thread(tid)
+        assert s.finished
+        assert s.output == "3\n"
+
+
+class TestConcurrencyTeaching:
+    def test_stepping_thread_to_lock_parks_it(self):
+        # The paper's scenario: run one thread up to a lock while another
+        # holds it; the view shows the block.
+        s = session("""
+            def main():
+                parallel:
+                    first()
+                    second()
+
+            def first():
+                lock gate:
+                    x = 1
+                    y = 2
+
+            def second():
+                lock gate:
+                    z = 3
+        """)
+        main_id = s.threads()[0].id
+        s.step(main_id)  # spawn both children
+        t1, t2 = [v.id for v in s.threads() if "parallel" in v.label]
+        s.step(t1, 2)  # enter first(), take the lock
+        view = s.run_thread(t2)  # runs until it blocks on the lock
+        assert view.state == "blocked on lock"
+        assert view.waiting_lock == "gate"
+        # Finishing thread 1 releases the lock and lets thread 2 finish.
+        s.continue_all()
+        assert s.finished
+        assert s.error is None
+
+    def test_deadlock_diagnosed_not_hung(self):
+        s = session(DEADLOCK_DEMO)
+        with pytest.raises(TetraDeadlockError):
+            s.continue_all()
+        assert isinstance(s.error, TetraDeadlockError)
+
+    def test_stepping_blocked_thread_rejected(self):
+        s = session(PARALLEL)
+        main_id = s.threads()[0].id
+        s.step(main_id, 2)  # main is now join-blocked
+        with pytest.raises(TetraThreadError, match="waiting"):
+            s.step(main_id)
+        s.stop()
+
+    def test_source_line_lookup(self):
+        s = session(SIMPLE)
+        assert s.source_line(3).strip() == "x = 1"
+        s.stop()

@@ -1,0 +1,141 @@
+"""Diagnostics rendering: the compiler-style messages users actually see."""
+
+import textwrap
+
+import pytest
+
+from repro.api import run_source
+from repro.errors import (
+    TetraDeadlockError,
+    TetraError,
+    TetraLimitError,
+    TetraRuntimeError,
+    TetraSyntaxError,
+    TetraThreadError,
+    TetraTypeError,
+    TetraUserError,
+    TetraZeroDivisionError,
+    is_catchable,
+)
+from repro.source import NO_SPAN, SourceFile, Span
+
+
+class TestRenderFormat:
+    def test_render_with_source_and_caret(self):
+        source = SourceFile.from_string("x = 1 + true\n", "prog.ttr")
+        exc = TetraTypeError("bad operands", Span(8, 12, 1, 9))
+        exc.attach_source(source)
+        rendered = exc.render()
+        assert rendered.split("\n")[0] == "prog.ttr:1:9: type error: bad operands"
+        assert "x = 1 + true" in rendered
+        assert "^" in rendered
+
+    def test_caret_width_matches_span(self):
+        source = SourceFile.from_string("print(nope)\n", "f.ttr")
+        exc = TetraTypeError("unknown", Span(6, 10, 1, 7))
+        exc.attach_source(source)
+        caret_line = exc.render().split("\n")[-1]
+        assert caret_line.count("^") == 4
+
+    def test_render_without_source(self):
+        exc = TetraRuntimeError("boom", Span(0, 1, 3, 2))
+        assert exc.render() == "3:2: runtime error: boom"
+
+    def test_render_without_span(self):
+        exc = TetraRuntimeError("boom")
+        assert exc.render() == "runtime error: boom"
+
+    def test_str_includes_location(self):
+        exc = TetraRuntimeError("boom", Span(0, 1, 3, 2))
+        assert str(exc) == "boom (at 3:2)"
+
+    def test_attach_source_is_idempotent(self):
+        a = SourceFile.from_string("x", "a")
+        b = SourceFile.from_string("y", "b")
+        exc = TetraError("m", Span(0, 1, 1, 1))
+        exc.attach_source(a)
+        exc.attach_source(b)  # must not overwrite
+        assert exc.source is a
+
+    @pytest.mark.parametrize("cls,phase", [
+        (TetraSyntaxError, "syntax error"),
+        (TetraTypeError, "type error"),
+        (TetraRuntimeError, "runtime error"),
+        (TetraZeroDivisionError, "division by zero"),
+        (TetraDeadlockError, "deadlock"),
+        (TetraUserError, "error"),
+        (TetraLimitError, "limit exceeded"),
+    ])
+    def test_phase_labels(self, cls, phase):
+        assert cls("m").render().startswith(f"{phase}: m")
+
+
+class TestCatchability:
+    def test_ordinary_runtime_errors_catchable(self):
+        assert is_catchable(TetraRuntimeError("x"))
+        assert is_catchable(TetraZeroDivisionError("x"))
+        assert is_catchable(TetraUserError("x"))
+
+    def test_infrastructure_errors_not_catchable(self):
+        assert not is_catchable(TetraDeadlockError("x"))
+        assert not is_catchable(TetraThreadError("x"))
+        assert not is_catchable(TetraLimitError("x"))
+
+    def test_static_errors_not_catchable(self):
+        assert not is_catchable(TetraTypeError("x"))
+        assert not is_catchable(ValueError("x"))
+
+
+class TestEndToEndMessages:
+    """Golden-ish checks on messages a student would actually read."""
+
+    def run_expect(self, source: str, exc_type):
+        with pytest.raises(exc_type) as info:
+            run_source(textwrap.dedent(source), name="lesson.ttr")
+        return info.value.render()
+
+    def test_runtime_error_names_file_and_line(self):
+        rendered = self.run_expect("""
+            def main():
+                xs = [1, 2]
+                print(xs[2])
+        """, TetraRuntimeError)
+        assert "lesson.ttr:4" in rendered
+        assert "valid indexes are 0 through 1" in rendered
+        assert "print(xs[2])" in rendered
+
+    def test_type_error_explains_inference(self):
+        rendered = self.run_expect("""
+            def main():
+                count = 0
+                count = "zero"
+        """, TetraTypeError)
+        assert "inferred as int" in rendered
+        assert "first assigned at" in rendered
+
+    def test_parse_error_suggests_indentation(self):
+        rendered = self.run_expect("""
+            def main():
+            print(1)
+        """, TetraSyntaxError)
+        assert "indent" in rendered
+
+    def test_deadlock_message_teaches_ordering(self):
+        with pytest.raises(TetraDeadlockError) as info:
+            run_source(textwrap.dedent("""
+                def main():
+                    lock a:
+                        lock a:
+                            pass
+            """))
+        assert "not re-entrant" in str(info.value)
+
+    def test_hint_for_calling_function_without_parens(self):
+        rendered = self.run_expect("""
+            def helper():
+                pass
+
+            def main():
+                x = helper
+        """, TetraTypeError)
+        assert "parentheses" in rendered

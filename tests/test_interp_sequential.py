@@ -1,0 +1,393 @@
+"""Interpreter semantics for the sequential language core."""
+
+import pytest
+
+from conftest import run, run_output
+from repro.api import run_source
+from repro.errors import (
+    TetraIndexError,
+    TetraLimitError,
+    TetraRuntimeError,
+    TetraZeroDivisionError,
+)
+from repro.runtime import RuntimeConfig
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run("""
+            def main():
+                print(2 + 3 * 4)
+                print((2 + 3) * 4)
+                print(10 - 2 - 3)
+                print(2 ** 10)
+        """) == ["14", "20", "5", "1024"]
+
+    def test_integer_division_truncates(self):
+        assert run("""
+            def main():
+                print(7 / 2)
+                print(-7 / 2)
+                print(7 % 3)
+                print(-7 % 3)
+        """) == ["3", "-3", "1", "-1"]
+
+    def test_real_arithmetic(self):
+        assert run("""
+            def main():
+                print(7.0 / 2.0)
+                print(1.5 + 1)
+        """) == ["3.5", "2.5"]
+
+    def test_mixed_promotion(self):
+        assert run("""
+            def main():
+                print(1 / 2.0)
+        """) == ["0.5"]
+
+    def test_comparisons(self):
+        assert run("""
+            def main():
+                print(1 < 2, " ", 2 <= 2, " ", 3 > 4, " ", 1 == 1, " ", 1 != 1)
+        """) == ["true true false true false"]
+
+    def test_string_operations(self):
+        assert run("""
+            def main():
+                print("foo" + "bar")
+                print("abc"[1])
+                print("a" < "b")
+        """) == ["foobar", "b", "true"]
+
+    def test_short_circuit_and(self):
+        # The right side would divide by zero if evaluated.
+        assert run("""
+            def check(x int) bool:
+                return 1 / x > 0
+
+            def main():
+                x = 0
+                if x != 0 and check(x):
+                    print("yes")
+                else:
+                    print("no")
+        """) == ["no"]
+
+    def test_short_circuit_or(self):
+        assert run("""
+            def boom() bool:
+                print("evaluated")
+                return true
+
+            def main():
+                if true or boom():
+                    print("done")
+        """) == ["done"]
+
+    def test_unary_operators(self):
+        assert run("""
+            def main():
+                x = 5
+                print(-x)
+                print(+x)
+                print(not true)
+        """) == ["-5", "5", "false"]
+
+    def test_array_literal_and_index(self):
+        assert run("""
+            def main():
+                xs = [10, 20, 30]
+                print(xs[0], " ", xs[2])
+                print(len(xs))
+        """) == ["10 30", "3"]
+
+    def test_range_literal_inclusive(self):
+        assert run("""
+            def main():
+                r = [3 ... 6]
+                print(len(r), " ", r[0], " ", r[3])
+        """) == ["4 3 6"]
+
+    def test_empty_range(self):
+        assert run("""
+            def main():
+                r = [5 ... 1]
+                print(len(r))
+        """) == ["0"]
+
+    def test_multidimensional_arrays(self):
+        assert run("""
+            def main():
+                m = [[1, 2], [3, 4]]
+                m[1][0] = 99
+                print(m[1][0], " ", m[0][1])
+                print(m)
+        """) == ["99 2", "[[1, 2], [99, 4]]"]
+
+    def test_arrays_share_by_reference(self):
+        assert run("""
+            def mutate(xs [int]):
+                xs[0] = 42
+
+            def main():
+                a = [1]
+                mutate(a)
+                print(a[0])
+        """) == ["42"]
+
+    def test_int_widens_into_real_variable(self):
+        assert run("""
+            def main():
+                x = 1.5
+                x = 2
+                print(x)
+        """) == ["2.0"]
+
+
+class TestControlFlow:
+    def test_if_elif_else(self):
+        assert run("""
+            def grade(n int) string:
+                if n >= 90:
+                    return "A"
+                elif n >= 80:
+                    return "B"
+                elif n >= 70:
+                    return "C"
+                else:
+                    return "F"
+
+            def main():
+                print(grade(95), grade(85), grade(75), grade(10))
+        """) == ["ABCF"]
+
+    def test_while_loop(self):
+        assert run("""
+            def main():
+                total = 0
+                i = 1
+                while i <= 10:
+                    total += i
+                    i += 1
+                print(total)
+        """) == ["55"]
+
+    def test_break_and_continue(self):
+        assert run("""
+            def main():
+                total = 0
+                for i in [1 ... 10]:
+                    if i % 2 == 0:
+                        continue
+                    if i > 7:
+                        break
+                    total += i
+                print(total)
+        """) == ["16"]  # 1 + 3 + 5 + 7
+
+    def test_nested_loop_break_inner_only(self):
+        assert run("""
+            def main():
+                count = 0
+                for i in [1 ... 3]:
+                    for j in [1 ... 3]:
+                        if j == 2:
+                            break
+                        count += 1
+                print(count)
+        """) == ["3"]
+
+    def test_for_over_string(self):
+        assert run("""
+            def main():
+                out = ""
+                for c in "abc":
+                    out = c + out
+                print(out)
+        """) == ["cba"]
+
+    def test_loop_variable_persists_after_loop(self):
+        assert run("""
+            def main():
+                for i in [1 ... 3]:
+                    pass
+                print(i)
+        """) == ["3"]
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert run("""
+            def fib(n int) int:
+                if n < 2:
+                    return n
+                return fib(n - 1) + fib(n - 2)
+
+            def main():
+                print(fib(15))
+        """) == ["610"]
+
+    def test_mutual_recursion(self):
+        assert run("""
+            def is_even(n int) bool:
+                if n == 0:
+                    return true
+                return is_odd(n - 1)
+
+            def is_odd(n int) bool:
+                if n == 0:
+                    return false
+                return is_even(n - 1)
+
+            def main():
+                print(is_even(10), " ", is_odd(7))
+        """) == ["true true"]
+
+    def test_arguments_evaluated_left_to_right(self):
+        assert run("""
+            def trace(label string, v int) int:
+                print(label)
+                return v
+
+            def add(a int, b int) int:
+                return a + b
+
+            def main():
+                print(add(trace("first", 1), trace("second", 2)))
+        """) == ["first", "second", "3"]
+
+    def test_return_stops_execution(self):
+        assert run("""
+            def f() int:
+                return 1
+                print("unreachable")
+
+            def main():
+                print(f())
+        """) == ["1"]
+
+    def test_int_return_widens_in_real_function(self):
+        assert run("""
+            def f() real:
+                return 3
+
+            def main():
+                print(f())
+        """) == ["3.0"]
+
+    def test_parameters_are_local(self):
+        assert run("""
+            def change(x int):
+                x = 99
+
+            def main():
+                x = 1
+                change(x)
+                print(x)
+        """) == ["1"]
+
+    def test_recursion_limit(self):
+        with pytest.raises(TetraLimitError, match="recursion depth"):
+            run("""
+                def loop(n int) int:
+                    return loop(n + 1)
+
+                def main():
+                    print(loop(0))
+            """)
+
+    def test_shadowing_builtin_calls_user_function(self):
+        assert run("""
+            def len(x int) int:
+                return 1000
+
+            def main():
+                print(len(5))
+        """) == ["1000"]
+
+
+class TestRuntimeErrors:
+    def test_division_by_zero(self):
+        with pytest.raises(TetraZeroDivisionError):
+            run("""
+                def main():
+                    x = 0
+                    print(1 / x)
+            """)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(TetraIndexError, match="out of range"):
+            run("""
+                def main():
+                    xs = [1]
+                    print(xs[5])
+            """)
+
+    def test_string_index_out_of_range(self):
+        with pytest.raises(TetraRuntimeError, match="out of range"):
+            run("""
+                def main():
+                    print("ab"[5])
+            """)
+
+    def test_step_limit(self):
+        with pytest.raises(TetraLimitError, match="budget"):
+            run("""
+                def main():
+                    while true:
+                        pass
+            """, config=RuntimeConfig(step_limit=1000))
+
+    def test_missing_entry_function(self):
+        with pytest.raises(TetraRuntimeError, match="no 'main'"):
+            run("""
+                def helper():
+                    pass
+            """)
+
+    def test_error_includes_line(self):
+        with pytest.raises(TetraZeroDivisionError) as info:
+            run_source("def main():\n    x = 0\n    print(5 / x)\n")
+        assert info.value.span.line == 3
+        assert "5 / x" in info.value.render()
+
+
+class TestIO:
+    def test_read_int_real_string_bool(self):
+        assert run("""
+            def main():
+                print(read_int() + 1)
+                print(read_real() * 2.0)
+                print(read_string() + "!")
+                print(not read_bool())
+        """, inputs=["41", "1.5", "hey", "true"]) == ["42", "3.0", "hey!", "false"]
+
+    def test_print_joins_without_separator(self):
+        assert run_output("""
+            def main():
+                print(1, " and ", 2.5, " and ", true)
+        """) == "1 and 2.5 and true\n"
+
+    def test_print_empty_line(self):
+        assert run_output("""
+            def main():
+                print()
+        """) == "\n"
+
+    def test_missing_input(self):
+        from repro.errors import TetraIOError
+
+        with pytest.raises(TetraIOError, match="none was provided"):
+            run("""
+                def main():
+                    x = read_int()
+            """)
+
+    def test_bad_int_input(self):
+        from repro.errors import TetraIOError
+
+        with pytest.raises(TetraIOError, match="expected an int"):
+            run("""
+                def main():
+                    x = read_int()
+            """, inputs=["not-a-number"])

@@ -1,0 +1,181 @@
+"""LockTable unit tests: mutual exclusion, diagnostics, deadlock detection."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import TetraDeadlockError
+from repro.runtime.locks import LockTable
+
+
+class TestBasics:
+    def test_acquire_release_cycle(self):
+        table = LockTable()
+        table.acquire("a", 1)
+        assert table.holder_of("a") == 1
+        table.release("a", 1)
+        assert table.holder_of("a") is None
+
+    def test_known_locks(self):
+        table = LockTable()
+        table.acquire("z", 1)
+        table.acquire("a", 1)
+        assert table.known_locks() == ["a", "z"]
+
+    def test_stats_count_acquisitions(self):
+        table = LockTable()
+        for _ in range(3):
+            table.acquire("a", 1)
+            table.release("a", 1)
+        assert table.stats["a"].acquisitions == 3
+        assert table.stats["a"].contended_acquisitions == 0
+
+    def test_release_by_non_owner_rejected(self):
+        table = LockTable()
+        table.acquire("a", 1)
+        with pytest.raises(TetraDeadlockError, match="does not hold"):
+            table.release("a", 2)
+
+    def test_self_reentry_diagnosed(self):
+        table = LockTable()
+        table.register_thread(1, "thread one")
+        table.acquire("a", 1)
+        with pytest.raises(TetraDeadlockError, match="not re-entrant"):
+            table.acquire("a", 1)
+
+    def test_reentry_message_names_thread(self):
+        table = LockTable()
+        table.register_thread(7, "worker 7")
+        table.acquire("guard", 7)
+        with pytest.raises(TetraDeadlockError, match="worker 7"):
+            table.acquire("guard", 7)
+
+
+class TestContention:
+    def test_mutual_exclusion_with_real_threads(self):
+        table = LockTable()
+        counter = {"value": 0}
+
+        def work(key):
+            for _ in range(200):
+                table.acquire("c", key)
+                try:
+                    # Deliberately non-atomic read-modify-write.
+                    current = counter["value"]
+                    counter["value"] = current + 1
+                finally:
+                    table.release("c", key)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["value"] == 800
+
+    def test_contended_stat_increments(self):
+        table = LockTable()
+        table.acquire("a", 1)
+        seen = []
+
+        def waiter():
+            table.acquire("a", 2)
+            seen.append(True)
+            table.release("a", 2)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        table.release("a", 1)
+        t.join()
+        assert seen == [True]
+        assert table.stats["a"].contended_acquisitions >= 1
+
+
+class TestDeadlockDetection:
+    def test_two_thread_cycle_detected(self):
+        table = LockTable()
+        table.register_thread("T1", "thread one")
+        table.register_thread("T2", "thread two")
+        table.acquire("a", "T1")
+        table.acquire("b", "T2")
+        results = {}
+
+        def t1():
+            try:
+                table.acquire("b", "T1")
+                table.release("b", "T1")
+            except TetraDeadlockError as e:
+                results["T1"] = e
+            finally:
+                table.release("a", "T1")  # break the cycle so peers drain
+
+        def t2():
+            try:
+                table.acquire("a", "T2")
+                table.release("a", "T2")
+            except TetraDeadlockError as e:
+                results["T2"] = e
+            finally:
+                table.release("b", "T2")
+
+        threads = [threading.Thread(target=t1), threading.Thread(target=t2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert results, "at least one thread must detect the cycle"
+        error = next(iter(results.values()))
+        assert "deadlock detected" in str(error)
+        assert "consistent order" in str(error)
+
+    def test_waiting_without_cycle_is_not_deadlock(self):
+        table = LockTable()
+        table.acquire("a", 1)
+        got = []
+
+        def waiter():
+            table.acquire("a", 2)
+            got.append("ok")
+            table.release("a", 2)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.1)  # several poll intervals: no false positive
+        assert got == []
+        table.release("a", 1)
+        t.join()
+        assert got == ["ok"]
+
+    def test_three_thread_cycle_detected(self):
+        table = LockTable()
+        for key, name in [(1, "one"), (2, "two"), (3, "three")]:
+            table.register_thread(key, name)
+        table.acquire("a", 1)
+        table.acquire("b", 2)
+        table.acquire("c", 3)
+        caught = []
+
+        held = {1: "a", 2: "b", 3: "c"}
+
+        def chase(key, want):
+            try:
+                table.acquire(want, key)
+                table.release(want, key)
+            except TetraDeadlockError as e:
+                caught.append(e)
+            finally:
+                table.release(held[key], key)  # drain the other waiters
+
+        threads = [
+            threading.Thread(target=chase, args=(1, "b")),
+            threading.Thread(target=chase, args=(2, "c")),
+            threading.Thread(target=chase, args=(3, "a")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert caught
+        assert caught[0].cycle  # the cycle description is attached

@@ -1,0 +1,147 @@
+"""The canonical paper programs: correct output on every backend.
+
+These are the repository's ground-truth integration tests — the exact
+listings from the paper (Figures I-III) plus the reconstructed §IV
+evaluation workloads.
+"""
+
+import pytest
+
+from repro.api import run_source
+from repro.errors import TetraDeadlockError
+from repro.programs import (
+    ALL_PROGRAMS,
+    BACKGROUND_DEMO,
+    DEADLOCK_DEMO,
+    FIGURE_1_FACTORIAL,
+    FIGURE_2_PARALLEL_SUM,
+    FIGURE_3_PARALLEL_MAX,
+    PRIME_COUNTS,
+    RACE_DEMO,
+    primes_program,
+    tsp_program,
+)
+
+
+class TestFigure1:
+    def test_factorial_of_5(self, any_backend):
+        result = run_source(FIGURE_1_FACTORIAL, inputs=["5"],
+                            backend=any_backend)
+        assert result.output_lines() == ["enter n: ", "5! = 120"]
+
+    def test_factorial_of_0(self):
+        result = run_source(FIGURE_1_FACTORIAL, inputs=["0"])
+        assert result.output_lines()[-1] == "0! = 1"
+
+    def test_factorial_of_20(self):
+        result = run_source(FIGURE_1_FACTORIAL, inputs=["20"])
+        assert result.output_lines()[-1] == "20! = 2432902008176640000"
+
+
+class TestFigure2:
+    def test_sums_1_to_100(self, any_backend):
+        result = run_source(FIGURE_2_PARALLEL_SUM, backend=any_backend)
+        assert result.output_lines() == ["5050"]
+
+
+class TestFigure3:
+    def test_finds_max(self, any_backend):
+        result = run_source(FIGURE_3_PARALLEL_MAX, backend=any_backend)
+        assert result.output_lines() == ["96"]
+
+
+class TestEvaluationWorkloads:
+    @pytest.mark.parametrize("limit", [100, 1000])
+    def test_primes_counts(self, limit):
+        result = run_source(primes_program(limit))
+        assert result.output_lines() == [str(PRIME_COUNTS[limit])]
+
+    def test_primes_same_on_all_backends(self, any_backend):
+        result = run_source(primes_program(200), backend=any_backend)
+        assert result.output_lines() == ["46"]
+
+    def test_tsp_deterministic(self, any_backend):
+        result = run_source(tsp_program(6), backend=any_backend)
+        expected = run_source(tsp_program(6), backend="sequential")
+        assert result.output_lines() == expected.output_lines()
+
+    def test_tsp_matches_bruteforce_oracle(self):
+        # Oracle: brute-force permutations in Python with the same
+        # synthetic distance function.
+        from itertools import permutations
+
+        def dist(a, b):
+            lo, hi = min(a, b), max(a, b)
+            return (lo * 7 + hi * 13) % 29 + 1
+
+        n = 6
+        best = min(
+            sum(dist(a, b) for a, b in zip((0,) + perm, perm + (0,)))
+            for perm in permutations(range(1, n))
+        )
+        result = run_source(tsp_program(n))
+        assert result.output_lines() == [str(best)]
+
+    def test_tsp_requires_three_cities(self):
+        with pytest.raises(ValueError):
+            tsp_program(2)
+
+
+class TestTeachingPrograms:
+    def test_race_demo_completes(self):
+        # On the thread backend the result is schedule-dependent but always
+        # one of the array's values.
+        result = run_source(RACE_DEMO)
+        assert result.output_lines()[0] in {"90", "1", "2", "3"}
+
+    def test_deadlock_demo_terminates(self):
+        # Either the schedule dodges the deadlock (fine) or it is detected
+        # and diagnosed — it must never hang.
+        try:
+            run_source(DEADLOCK_DEMO)
+        except TetraDeadlockError as exc:
+            assert "lock" in str(exc)
+
+    def test_background_demo(self):
+        result = run_source(BACKGROUND_DEMO)
+        lines = result.output_lines()
+        assert "main keeps going" in lines
+        assert sum(1 for l in lines if l.startswith("background")) == 3
+
+
+class TestExtensionPrograms:
+    def test_word_count_on_all_backends(self, any_backend):
+        from repro.programs import WORD_COUNT_DEMO
+
+        result = run_source(WORD_COUNT_DEMO, backend=any_backend)
+        lines = result.output_lines()
+        assert "the: 3" in lines
+        assert "fox: 2" in lines
+        assert lines[-1].startswith("lookup failed")
+
+    def test_bank_account_on_all_backends(self, any_backend):
+        from repro.programs import BANK_DEMO
+
+        result = run_source(BANK_DEMO, backend=any_backend)
+        assert result.output_lines() == [
+            "team has 1000",
+            "Account(owner: team, balance: 1000)",
+        ]
+
+
+class TestProgramCatalog:
+    def test_all_programs_compile(self):
+        from repro.api import check_source
+
+        for name, text in ALL_PROGRAMS.items():
+            assert check_source(text) == [], f"{name} has diagnostics"
+
+    def test_examples_directory_in_sync(self):
+        """examples/tetra/*.ttr must match the canonical sources."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        for name, text in ALL_PROGRAMS.items():
+            path = root / "examples" / "tetra" / f"{name}.ttr"
+            assert path.exists(), f"missing {path}"
+            assert path.read_text() == text, f"{path} is stale"

@@ -1,0 +1,228 @@
+"""Tests for the interactive REPL (session engine and loop)."""
+
+import io
+
+import pytest
+
+from repro.errors import TetraError
+from repro.stdlib.io import CapturingIO
+from repro.tools.repl import Repl, ReplSession
+
+
+def drive(lines, io_channel=None):
+    """Feed lines to the REPL loop; return what it printed."""
+    stdin = io.StringIO("\n".join(lines) + "\n")
+    stdout = io.StringIO()
+    Repl(stdin=stdin, stdout=stdout, io=io_channel).loop()
+    return stdout.getvalue()
+
+
+class TestSessionEngine:
+    def test_variables_persist(self):
+        session = ReplSession(CapturingIO())
+        session.run_statements("x = 10\n")
+        session.run_statements("y = x * 2\n")
+        expr = session.try_parse_expression("x + y")
+        assert session.eval_expression(expr) == "30"
+
+    def test_expression_classification(self):
+        session = ReplSession(CapturingIO())
+        assert session.try_parse_expression("1 + 2") is not None
+        assert session.try_parse_expression("x = 1") is None
+        assert session.try_parse_expression("if x:") is None
+        assert session.try_parse_expression("1 + ") is None
+
+    def test_void_expression_returns_none(self):
+        console = CapturingIO()
+        session = ReplSession(console)
+        expr = session.try_parse_expression('print("side effect")')
+        assert session.eval_expression(expr) is None
+        assert console.output == "side effect\n"
+
+    def test_function_definition_and_call(self):
+        session = ReplSession(CapturingIO())
+        names = session.define_functions(
+            "def triple(n int) int:\n    return n * 3\n"
+        )
+        assert names == ["triple"]
+        expr = session.try_parse_expression("triple(7)")
+        assert session.eval_expression(expr) == "21"
+
+    def test_redefinition_replaces(self):
+        session = ReplSession(CapturingIO())
+        session.define_functions("def f() int:\n    return 1\n")
+        session.define_functions("def f() int:\n    return 2\n")
+        expr = session.try_parse_expression("f()")
+        assert session.eval_expression(expr) == "2"
+
+    def test_bad_definition_rolls_back(self):
+        session = ReplSession(CapturingIO())
+        session.define_functions("def ok() int:\n    return 1\n")
+        with pytest.raises(TetraError):
+            session.define_functions(
+                "def broken() int:\n    return missing\n"
+            )
+        # The old function set still works.
+        expr = session.try_parse_expression("ok()")
+        assert session.eval_expression(expr) == "1"
+        assert "broken" not in session.functions
+
+    def test_type_errors_surface(self):
+        session = ReplSession(CapturingIO())
+        session.run_statements("n = 1\n")
+        with pytest.raises(TetraError, match="cannot hold"):
+            session.run_statements('n = "string"\n')
+
+    def test_static_type_of(self):
+        session = ReplSession(CapturingIO())
+        assert session.static_type_of("1 + 2") == "int"
+        assert session.static_type_of("1 / 2.0") == "real"
+        assert session.static_type_of("[1, 2]") == "[int]"
+        assert session.static_type_of('(1, "a")') == "(int, string)"
+
+    def test_return_outside_function_rejected(self):
+        session = ReplSession(CapturingIO())
+        with pytest.raises(TetraError, match="return"):
+            session.run_statements("return 5\n")
+
+    def test_parallel_constructs_work(self):
+        session = ReplSession(CapturingIO())
+        session.run_statements(
+            "total = 0\n"
+            "parallel for i in [1 ... 10]:\n"
+            "    lock t:\n"
+            "        total += i\n"
+        )
+        expr = session.try_parse_expression("total")
+        assert session.eval_expression(expr) == "55"
+
+    def test_variables_listing(self):
+        session = ReplSession(CapturingIO())
+        session.run_statements('x = 1\ns = "hi"\n')
+        rows = session.variables()
+        assert ("s", "string", "hi") in rows
+        assert ("x", "int", "1") in rows
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "lib.ttr"
+        path.write_text("def square(n int) int:\n    return n * n\n")
+        session = ReplSession(CapturingIO())
+        assert session.load_file(str(path)) == ["square"]
+        expr = session.try_parse_expression("square(6)")
+        assert session.eval_expression(expr) == "36"
+
+    def test_continuation_detection(self):
+        assert ReplSession.needs_continuation("if x > 1:")
+        assert ReplSession.needs_continuation("while true:")
+        assert not ReplSession.needs_continuation("x = 1")
+        assert not ReplSession.needs_continuation('s = "a:"')
+
+
+class TestReplLoop:
+    def test_expression_echo(self):
+        out = drive(["2 + 3", ":quit"])
+        assert "5" in out
+
+    def test_statements_then_expression(self):
+        out = drive(["x = 4", "x * x", ":quit"])
+        assert "16" in out
+
+    def test_block_input(self):
+        out = drive([
+            "total = 0",
+            "for i in [1 ... 4]:",
+            "    total += i",
+            "",              # ends the block
+            "total",
+            ":quit",
+        ])
+        assert "10" in out
+
+    def test_def_block(self):
+        out = drive([
+            "def inc(n int) int:",
+            "    return n + 1",
+            "",
+            "inc(41)",
+            ":quit",
+        ])
+        assert "defined inc" in out
+        assert "42" in out
+
+    def test_vars_and_funcs_commands(self):
+        out = drive([
+            "x = 7",
+            "def f() int:",
+            "    return 1",
+            "",
+            ":vars",
+            ":funcs",
+            ":quit",
+        ])
+        assert "x int = 7" in out
+        assert "def f() int" in out
+
+    def test_type_command(self):
+        out = drive([":type 1.5 * 2", ":quit"])
+        assert "real" in out
+
+    def test_help_and_unknown_command(self):
+        out = drive([":help", ":bogus", ":quit"])
+        assert ":vars" in out
+        assert "unknown command" in out
+
+    def test_errors_do_not_kill_loop(self):
+        out = drive(["boom", "1 + 1", ":quit"])
+        assert "not defined" in out
+        assert "2" in out
+
+    def test_eof_exits(self):
+        out = drive([])  # immediate EOF
+        assert "Tetra REPL" in out
+
+    def test_program_output_goes_to_console(self):
+        console = CapturingIO()
+        drive(['print("to console")', ":quit"], io_channel=console)
+        assert console.output == "to console\n"
+
+
+class TestReplClasses:
+    def test_class_definition_and_use(self):
+        session = ReplSession(CapturingIO())
+        names = session.define_functions(
+            "class Pt:\n    x int\n    def double() int:\n"
+            "        return self.x * 2\n"
+        )
+        assert names == ["Pt"]
+        session.run_statements("p = Pt(21)\n")
+        expr = session.try_parse_expression("p.double()")
+        assert session.eval_expression(expr) == "42"
+        assert any("class Pt" in sig for sig in session.function_signatures())
+
+    def test_class_loop_input(self):
+        out = drive([
+            "class Box:",
+            "    v int",
+            "    def bump() int:",
+            "        self.v += 1",
+            "        return self.v",
+            "",
+            "b = Box(9)",
+            "b.bump()",
+            ":quit",
+        ])
+        assert "defined Box" in out
+        assert "10" in out
+
+    def test_try_catch_multiline_input(self):
+        # A blank line inside an incomplete block does not end it: the
+        # reader waits for the catch half before executing.
+        out = drive([
+            "try:",
+            "    error(\"boom\")",
+            "catch e:",
+            "    print(\"handled\")",
+            "",
+            ":quit",
+        ], io_channel=(console := CapturingIO()))
+        assert console.output == "handled\n"

@@ -1,0 +1,82 @@
+"""Unit tests for repro.source: files, positions, spans, caret rendering."""
+
+import pytest
+
+from repro.source import NO_SPAN, Position, SourceFile, Span
+
+
+class TestSourceFile:
+    def test_from_string_default_name(self):
+        src = SourceFile.from_string("x")
+        assert src.name == "<string>"
+        assert src.text == "x"
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "prog.ttr"
+        path.write_text("def main():\n    pass\n")
+        src = SourceFile.from_path(str(path))
+        assert src.name == str(path)
+        assert "def main" in src.text
+
+    def test_line_count(self):
+        assert SourceFile.from_string("a\nb\nc").line_count == 3
+
+    def test_line_count_trailing_newline(self):
+        # A trailing newline opens a final (empty) line.
+        assert SourceFile.from_string("a\nb\n").line_count == 3
+
+    def test_line_text(self):
+        src = SourceFile.from_string("first\nsecond\nthird")
+        assert src.line_text(1) == "first"
+        assert src.line_text(2) == "second"
+        assert src.line_text(3) == "third"
+
+    def test_line_text_out_of_range(self):
+        src = SourceFile.from_string("only")
+        assert src.line_text(0) == ""
+        assert src.line_text(99) == ""
+
+    def test_position_of_start(self):
+        src = SourceFile.from_string("abc\ndef")
+        assert src.position_of(0) == Position(1, 1)
+
+    def test_position_of_second_line(self):
+        src = SourceFile.from_string("abc\ndef")
+        assert src.position_of(4) == Position(2, 1)
+        assert src.position_of(6) == Position(2, 3)
+
+    def test_caret_snippet_points_at_column(self):
+        src = SourceFile.from_string("x = 1 +\n")
+        span = Span(6, 7, 1, 7)
+        snippet = src.caret_snippet(span)
+        line, caret = snippet.split("\n")
+        assert line == "1 | x = 1 +"
+        # "| " plus span.column-1 spaces puts the caret under column 7.
+        assert caret.index("^") == caret.index("|") + 2 + 6
+
+
+class TestSpan:
+    def test_merge_orders_by_start(self):
+        a = Span(5, 8, 1, 6)
+        b = Span(0, 3, 1, 1)
+        merged = a.merge(b)
+        assert merged.start == 0
+        assert merged.end == 8
+        assert merged.line == 1
+        assert merged.column == 1
+
+    def test_merge_is_commutative_on_extent(self):
+        a = Span(2, 4, 1, 3)
+        b = Span(6, 9, 2, 1)
+        assert a.merge(b).start == b.merge(a).start
+        assert a.merge(b).end == b.merge(a).end
+
+    def test_point_span_is_empty(self):
+        p = Span.point(7, 2, 3)
+        assert p.start == p.end == 7
+
+    def test_str_shows_line_column(self):
+        assert str(Span(0, 1, 12, 7)) == "12:7"
+
+    def test_no_span_is_falsy_location(self):
+        assert NO_SPAN.line == 0

@@ -1,0 +1,132 @@
+"""Trace serialization: JSON round trips, validation, and the CLI flags."""
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.api import run_source
+from repro.errors import TetraError
+from repro.runtime.cost import FREE_PARALLELISM
+from repro.runtime.machine import Machine
+from repro.runtime.sim import SimBackend
+from repro.runtime.taskgraph import Acquire, Fork, Release, Task, Work
+from repro.runtime.traceio import (
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.programs import primes_program
+from repro.tools.cli import main
+from test_properties import task_trees, _renumber
+
+
+def tasks_equal(a: Task, b: Task) -> bool:
+    if (a.id, a.label, len(a.items)) != (b.id, b.label, len(b.items)):
+        return False
+    for x, y in zip(a.items, b.items):
+        if type(x) is not type(y):
+            return False
+        if isinstance(x, Work) and x.units != y.units:
+            return False
+        if isinstance(x, (Acquire, Release)) and x.name != y.name:
+            return False
+        if isinstance(x, Fork):
+            if x.join != y.join or len(x.children) != len(y.children):
+                return False
+            if not all(tasks_equal(c, d)
+                       for c, d in zip(x.children, y.children)):
+                return False
+    return True
+
+
+class TestRoundTrip:
+    def build(self):
+        root = Task(0, "main", [Work(10)])
+        child = Task(1, "worker", [Acquire("m"), Work(5), Release("m")])
+        root.items.append(Fork([child], join=True))
+        root.items.append(Work(3))
+        return root
+
+    def test_hand_built_trace(self):
+        root = self.build()
+        again = trace_from_json(trace_to_json(root))
+        assert tasks_equal(root, again)
+
+    def test_recorded_program_trace(self):
+        backend = SimBackend(cores=4)
+        run_source(primes_program(200), backend=backend)
+        again = trace_from_json(trace_to_json(backend.trace))
+        assert tasks_equal(backend.trace, again)
+
+    def test_schedules_identically_after_round_trip(self):
+        backend = SimBackend(cores=8)
+        run_source(primes_program(300), backend=backend)
+        original = Machine(8).run(backend.trace).makespan
+        reloaded = Machine(8).run(
+            trace_from_json(trace_to_json(backend.trace))
+        ).makespan
+        assert original == reloaded
+
+    def test_save_and_load_files(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        root = self.build()
+        save_trace(root, path)
+        assert tasks_equal(load_trace(path), root)
+
+    @given(task_trees().map(_renumber))
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip(self, root):
+        again = trace_from_json(trace_to_json(root))
+        assert tasks_equal(root, again)
+        a = Machine(4, FREE_PARALLELISM).run(root).makespan
+        b = Machine(4, FREE_PARALLELISM).run(again).makespan
+        assert a == b
+
+
+class TestValidation:
+    def test_not_json(self):
+        with pytest.raises(TetraError, match="not valid JSON"):
+            trace_from_json("{nope")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(TetraError, match="not a Tetra trace"):
+            trace_from_json('{"format": "something-else", "root": {}}')
+
+    def test_malformed_task(self):
+        with pytest.raises(TetraError, match="malformed"):
+            trace_from_json(
+                '{"format": "tetra-trace/1", "root": {"id": 0}}'
+            )
+
+    def test_unknown_item(self):
+        with pytest.raises(TetraError, match="unrecognized trace item"):
+            trace_from_json(
+                '{"format": "tetra-trace/1", "root": '
+                '{"id": 0, "label": "x", "items": [{"sleep": 5}]}}'
+            )
+
+    def test_duplicate_ids(self):
+        text = trace_to_json(Task(0, "a", [Work(1)]))
+        dup = text.replace('"id": 0', '"id": 7')  # harmless single task
+        trace_from_json(dup)  # still fine
+        root = Task(0, "a")
+        root.items.append(Fork([Task(0, "b", [Work(1)])], join=True))
+        with pytest.raises(TetraError, match="duplicate task ids"):
+            trace_from_json(trace_to_json(root))
+
+
+class TestCliIntegration:
+    def test_save_then_load(self, tmp_path, capsys):
+        program = tmp_path / "p.ttr"
+        program.write_text(primes_program(200))
+        trace = str(tmp_path / "trace.json")
+        assert main(["sim", str(program), "--cores", "1,4",
+                     "--save-trace", trace]) == 0
+        first = capsys.readouterr().out
+        assert main(["sim", str(program), "--cores", "1,4",
+                     "--load-trace", trace]) == 0
+        second = capsys.readouterr().out
+        # Loading skips interpretation, so the program output line is gone
+        # but the speedup table is identical.
+        assert first.split("\n")[1:] == second.split("\n")

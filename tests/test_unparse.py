@@ -1,0 +1,120 @@
+"""Unparser tests: fidelity and minimal parenthesization."""
+
+import textwrap
+
+import pytest
+
+from repro.parser import parse_expression, parse_source
+from repro.tetra_ast import node_equal, unparse
+from repro.programs import ALL_PROGRAMS
+
+
+def roundtrip_program(text: str) -> None:
+    program = parse_source(text)
+    again = parse_source(unparse(program))
+    assert node_equal(program, again), unparse(program)
+
+
+def expr_text(text: str) -> str:
+    return unparse(parse_expression(text))
+
+
+class TestExpressionRendering:
+    def test_literal_forms(self):
+        assert expr_text("42") == "42"
+        assert expr_text("4.5") == "4.5"
+        assert expr_text("true") == "true"
+        assert expr_text("false") == "false"
+        assert expr_text('"hi"') == '"hi"'
+
+    def test_string_escapes_render(self):
+        assert expr_text(r'"a\nb"') == r'"a\nb"'
+        assert expr_text(r'"say \"hi\""') == r'"say \"hi\""'
+
+    def test_no_redundant_parens(self):
+        assert expr_text("1 + 2 * 3") == "1 + 2 * 3"
+        assert expr_text("a and b or c") == "a and b or c"
+
+    def test_needed_parens_preserved(self):
+        assert expr_text("(1 + 2) * 3") == "(1 + 2) * 3"
+        assert expr_text("a and (b or c)") == "a and (b or c)"
+        assert expr_text("-(a + b)") == "-(a + b)"
+
+    def test_left_assoc_subtraction_parens(self):
+        # 10 - (4 - 3) needs parens; (10 - 4) - 3 does not.
+        assert expr_text("10 - (4 - 3)") == "10 - (4 - 3)"
+        assert expr_text("10 - 4 - 3") == "10 - 4 - 3"
+
+    def test_power_right_assoc_rendering(self):
+        assert expr_text("2 ** 3 ** 2") == "2 ** 3 ** 2"
+        assert expr_text("(2 ** 3) ** 2") == "(2 ** 3) ** 2"
+
+    def test_range_literal(self):
+        assert expr_text("[1...100]") == "[1 ... 100]"
+
+    def test_array_and_index(self):
+        assert expr_text("[1, 2, 3][0]") == "[1, 2, 3][0]"
+        assert expr_text("m[i][j]") == "m[i][j]"
+
+    def test_call(self):
+        assert expr_text("f(1, g(x), [2])") == "f(1, g(x), [2])"
+
+    def test_not_spacing(self):
+        assert expr_text("not a") == "not a"
+        assert expr_text("not (a or b)") == "not (a or b)"
+
+
+class TestProgramRoundTrips:
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_canonical_programs(self, name):
+        roundtrip_program(ALL_PROGRAMS[name])
+
+    def test_every_statement_kind(self):
+        roundtrip_program(textwrap.dedent("""
+            def f(a int, b [real]) string:
+                x = 1
+                x += 2
+                b[0] = 1.5
+                if x > 0:
+                    pass
+                elif x < 0:
+                    x = 0
+                else:
+                    x = 1
+                while x < 10:
+                    x += 1
+                    if x == 5:
+                        break
+                    continue
+                for i in [1 ... 3]:
+                    x += i
+                parallel:
+                    x = 1
+                    x = 2
+                background:
+                    x = 3
+                parallel for j in b:
+                    lock guard:
+                        x += 1
+                return "done"
+
+            def main():
+                s = f(1, [1.0, 2.0])
+                print(s)
+        """))
+
+    def test_empty_else_and_nesting(self):
+        roundtrip_program(textwrap.dedent("""
+            def main():
+                if true:
+                    if false:
+                        pass
+                    else:
+                        pass
+        """))
+
+    def test_unparse_idempotent(self):
+        text = ALL_PROGRAMS["figure2_parallel_sum"]
+        once = unparse(parse_source(text))
+        twice = unparse(parse_source(once))
+        assert once == twice

@@ -1,0 +1,177 @@
+"""Runtime value semantics: numerics, arrays, display."""
+
+import pytest
+
+from repro.errors import TetraIndexError, TetraZeroDivisionError
+from repro.runtime.values import (
+    TetraArray,
+    coerce_to,
+    deep_copy,
+    display,
+    int_div,
+    int_mod,
+    make_array,
+    real_div,
+    real_mod,
+    tetra_pow,
+    type_of_value,
+)
+from repro.types import BOOL, INT, REAL, STRING, ArrayType
+
+
+class TestIntegerDivision:
+    def test_truncates_toward_zero_positive(self):
+        assert int_div(7, 2) == 3
+
+    def test_truncates_toward_zero_negative(self):
+        # C semantics, not Python floor division.
+        assert int_div(-7, 2) == -3
+        assert int_div(7, -2) == -3
+        assert int_div(-7, -2) == 3
+
+    def test_exact_division(self):
+        assert int_div(10, 5) == 2
+
+    def test_zero_divisor(self):
+        with pytest.raises(TetraZeroDivisionError):
+            int_div(1, 0)
+
+    def test_mod_sign_follows_dividend(self):
+        assert int_mod(7, 3) == 1
+        assert int_mod(-7, 3) == -1
+        assert int_mod(7, -3) == 1
+        assert int_mod(-7, -3) == -1
+
+    def test_div_mod_identity(self):
+        for a in (-17, -5, 0, 5, 17):
+            for b in (-4, -3, 3, 4):
+                assert int_div(a, b) * b + int_mod(a, b) == a
+
+    def test_mod_zero_divisor(self):
+        with pytest.raises(TetraZeroDivisionError):
+            int_mod(1, 0)
+
+
+class TestRealArithmetic:
+    def test_real_div(self):
+        assert real_div(7.0, 2.0) == 3.5
+
+    def test_real_div_zero(self):
+        with pytest.raises(TetraZeroDivisionError):
+            real_div(1.0, 0.0)
+
+    def test_real_mod_fmod_semantics(self):
+        assert real_mod(7.5, 2.0) == 1.5
+        assert real_mod(-7.5, 2.0) == -1.5
+
+    def test_pow_int_int_stays_int(self):
+        result = tetra_pow(2, 10)
+        assert result == 1024
+        assert isinstance(result, int)
+
+    def test_pow_negative_exponent_goes_real(self):
+        result = tetra_pow(2, -1)
+        assert result == 0.5
+        assert isinstance(result, float)
+
+    def test_pow_zero_to_negative(self):
+        with pytest.raises(TetraZeroDivisionError):
+            tetra_pow(0, -1)
+
+    def test_pow_real(self):
+        assert tetra_pow(2.0, 3) == 8.0
+        assert isinstance(tetra_pow(2.0, 3), float)
+
+
+class TestTetraArray:
+    def test_len_and_iter(self):
+        arr = TetraArray([1, 2, 3], INT)
+        assert len(arr) == 3
+        assert list(arr) == [1, 2, 3]
+
+    def test_get_set(self):
+        arr = TetraArray([1, 2], INT)
+        arr.set(1, 9)
+        assert arr.get(1) == 9
+
+    def test_negative_index_rejected(self):
+        # Unlike Python: no silent wraparound for beginners.
+        arr = TetraArray([1, 2], INT)
+        with pytest.raises(TetraIndexError, match="out of range"):
+            arr.get(-1)
+
+    def test_out_of_range(self):
+        arr = TetraArray([1], INT)
+        with pytest.raises(TetraIndexError, match="0 through 0"):
+            arr.get(1)
+
+    def test_structural_equality(self):
+        assert TetraArray([1, 2], INT) == TetraArray([1, 2], INT)
+        assert TetraArray([1], INT) != TetraArray([2], INT)
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(TetraArray([1], INT))
+
+    def test_make_array_widens_to_real(self):
+        arr = make_array([1, 2], REAL)
+        assert arr.items == [1.0, 2.0]
+        assert all(isinstance(x, float) for x in arr.items)
+
+    def test_deep_copy_independent(self):
+        inner = TetraArray([1], INT)
+        outer = TetraArray([inner], ArrayType(INT))
+        clone = deep_copy(outer)
+        clone.get(0).set(0, 99)
+        assert inner.get(0) == 1
+
+
+class TestTypeOfValue:
+    def test_primitives(self):
+        assert type_of_value(1) == INT
+        assert type_of_value(1.5) == REAL
+        assert type_of_value("s") == STRING
+        assert type_of_value(True) == BOOL  # bool before int
+
+    def test_array(self):
+        assert type_of_value(TetraArray([1], INT)) == ArrayType(INT)
+
+    def test_unknown_value(self):
+        with pytest.raises(TypeError):
+            type_of_value(object())
+
+
+class TestDisplay:
+    def test_int(self):
+        assert display(42) == "42"
+
+    def test_real_uses_shortest_repr(self):
+        assert display(1.5) == "1.5"
+        assert display(1.0) == "1.0"
+
+    def test_bool_lowercase(self):
+        assert display(True) == "true"
+        assert display(False) == "false"
+
+    def test_string_plain(self):
+        assert display("hi") == "hi"
+
+    def test_array(self):
+        assert display(TetraArray([1, 2], INT)) == "[1, 2]"
+
+    def test_nested_array(self):
+        inner = TetraArray([True], BOOL)
+        assert display(TetraArray([inner], ArrayType(BOOL))) == "[[true]]"
+
+
+class TestCoerce:
+    def test_int_to_real(self):
+        out = coerce_to(3, REAL)
+        assert out == 3.0 and isinstance(out, float)
+
+    def test_bool_not_widened(self):
+        assert coerce_to(True, REAL) is True
+
+    def test_no_op_cases(self):
+        assert coerce_to(3, INT) == 3
+        assert coerce_to("s", STRING) == "s"
