@@ -1,0 +1,18 @@
+"""Dynamic program analyses over running Tetra programs and their traces.
+
+The first resident is the data-race detector (:mod:`repro.analysis.races`):
+vector-clock happens-before plus Eraser-style locksets, fed by the
+interpreter's shared read/write events and span-anchored so every report
+points at the two source lines that conflict (:mod:`repro.analysis.report`).
+"""
+
+from .races import RaceDetector, replay_trace
+from .report import AccessSite, RaceReport, render_race_panel
+
+__all__ = [
+    "AccessSite",
+    "RaceDetector",
+    "RaceReport",
+    "render_race_panel",
+    "replay_trace",
+]

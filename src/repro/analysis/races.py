@@ -1,0 +1,234 @@
+"""Dynamic data-race detection: vector-clock happens-before + locksets.
+
+The detector watches a running program through five kinds of events —
+``fork``/``join`` (parallel structure), ``acquire``/``release`` (named
+locks), and ``read``/``write`` (shared-memory accesses) — and flags every
+pair of accesses to the same location that
+
+* comes from two different Tetra threads,
+* includes at least one write,
+* is **not ordered** by the fork/join happens-before relation, and
+* holds **no common lock** (Eraser's lockset condition).
+
+Ordering is judged against the program's *logical* concurrency, not the
+schedule that happened to run: a ``parallel`` block's children are
+concurrent with each other even when a backend executes them one after the
+other.  That is what makes detection work — and produce identical reports —
+on the sequential, simulator, and deterministic cooperative backends, where
+the racy interleaving itself may never occur.  Lock-based exclusion uses
+locksets rather than release→acquire edges for the same reason: a race
+"hidden" by today's lucky lock timing is still reported.
+
+Locations are identified by object identity (a shared frame's slot, an
+object's field, an array/dict element); the detector pins every container
+it has seen so CPython cannot recycle an id mid-run.  Per location it keeps
+the latest read and write per thread — the FastTrack-style bound that keeps
+memory proportional to data touched, not to execution length.
+
+:func:`replay_trace` runs the same engine over a recorded
+:class:`~repro.runtime.taskgraph.Task` tree whose items include
+:class:`~repro.runtime.taskgraph.Access` events, so archived simulator
+traces can be audited for races without re-interpreting the program.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..source import Span
+from .report import AccessSite, RaceReport
+
+
+class _Access:
+    """One remembered access: who, what kind, where, and when (epoch)."""
+
+    __slots__ = ("tid", "is_write", "span", "clock_value", "lockset")
+
+    def __init__(self, tid, is_write: bool, span: Span, clock_value: int,
+                 lockset: frozenset):
+        self.tid = tid
+        self.is_write = is_write
+        self.span = span
+        self.clock_value = clock_value
+        self.lockset = lockset
+
+
+class _Location:
+    """Per-location history: the latest read and write of each thread."""
+
+    __slots__ = ("display", "reads", "writes")
+
+    def __init__(self, display: str):
+        self.display = display
+        self.reads: dict = {}
+        self.writes: dict = {}
+
+
+class RaceDetector:
+    """One program run's worth of happens-before + lockset state.
+
+    Thread-safe: the thread backend delivers events from several OS threads
+    at once.  Under the cooperative and sequential backends event order is
+    deterministic, so reports are too.
+    """
+
+    def __init__(self, max_reports: int = 64):
+        self.max_reports = max_reports
+        self.reports: list[RaceReport] = []
+        self._mutex = threading.Lock()
+        #: tid → vector clock (tid → logical time).
+        self._clocks: dict = {}
+        #: tid → stack of lock names currently held.
+        self._locksets: dict = {}
+        self._labels: dict = {}
+        self._locations: dict = {}
+        #: Containers we key by id(); pinned so ids are never recycled.
+        self._pins: dict[int, object] = {}
+        #: Dedup: one report per unordered pair of source sites.
+        self._seen: set = set()
+
+    # -- thread lifecycle ------------------------------------------------
+    def register(self, tid, label: str) -> None:
+        with self._mutex:
+            self._ensure(tid, label)
+
+    def _ensure(self, tid, label: str | None = None) -> dict:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = {tid: 1}
+            self._clocks[tid] = clock
+            self._locksets[tid] = []
+        if label is not None:
+            self._labels[tid] = label
+        return clock
+
+    def fork(self, parent, child, child_label: str) -> None:
+        """The child starts knowing everything the parent did so far; the
+        parent's later work is concurrent with the child."""
+        with self._mutex:
+            parent_clock = self._ensure(parent)
+            child_clock = dict(parent_clock)
+            child_clock[child] = child_clock.get(child, 0) + 1
+            self._clocks[child] = child_clock
+            self._locksets[child] = []
+            self._labels[child] = child_label
+            parent_clock[parent] = parent_clock.get(parent, 0) + 1
+
+    def join(self, parent, child) -> None:
+        """After a join the parent has seen everything the child did."""
+        with self._mutex:
+            parent_clock = self._ensure(parent)
+            for tid, value in self._clocks.get(child, {}).items():
+                if parent_clock.get(tid, 0) < value:
+                    parent_clock[tid] = value
+            parent_clock[parent] = parent_clock.get(parent, 0) + 1
+
+    # -- locks -----------------------------------------------------------
+    def acquire(self, tid, name: str) -> None:
+        with self._mutex:
+            self._ensure(tid)
+            self._locksets[tid].append(name)
+
+    def release(self, tid, name: str) -> None:
+        with self._mutex:
+            held = self._locksets.get(tid)
+            # Tetra locks are non-reentrant, so a name is held at most once.
+            if held is not None and name in held:
+                held.remove(name)
+
+    # -- accesses ----------------------------------------------------------
+    def mark_shared(self, frame) -> None:
+        """Flag a frame as visible to several threads (set at fork time);
+        only shared frames' variables generate events."""
+        frame.shared = True
+        with self._mutex:
+            self._pins.setdefault(id(frame), frame)
+
+    def read(self, tid, key, display: str, span: Span, pin=None) -> None:
+        self._record(tid, key, display, span, False, pin)
+
+    def write(self, tid, key, display: str, span: Span, pin=None) -> None:
+        self._record(tid, key, display, span, True, pin)
+
+    def _record(self, tid, key, display: str, span: Span, is_write: bool,
+                pin) -> None:
+        with self._mutex:
+            if pin is not None:
+                self._pins.setdefault(id(pin), pin)
+            clock = self._ensure(tid)
+            location = self._locations.get(key)
+            if location is None:
+                location = _Location(display)
+                self._locations[key] = location
+            access = _Access(tid, is_write, span, clock.get(tid, 0),
+                             frozenset(self._locksets[tid]))
+            # A read conflicts with foreign writes; a write with everything.
+            prior_tables = (location.writes,) if not is_write else (
+                location.writes, location.reads)
+            for table in prior_tables:
+                for other_tid, prior in table.items():
+                    if other_tid == tid:
+                        continue
+                    if prior.clock_value <= clock.get(other_tid, 0):
+                        continue  # ordered by fork/join
+                    if prior.lockset & access.lockset:
+                        continue  # serialized by a common lock
+                    self._report(location, prior, access)
+            table = location.writes if is_write else location.reads
+            table[tid] = access
+
+    def _report(self, location: _Location, first: _Access,
+                second: _Access) -> None:
+        signature = (location.display, frozenset({
+            (first.span.line, first.span.column, first.is_write),
+            (second.span.line, second.span.column, second.is_write),
+        }))
+        if signature in self._seen or len(self.reports) >= self.max_reports:
+            return
+        self._seen.add(signature)
+        self.reports.append(RaceReport(
+            variable=location.display,
+            first=AccessSite(self._label(first.tid), first.is_write,
+                             first.span),
+            second=AccessSite(self._label(second.tid), second.is_write,
+                              second.span),
+        ))
+
+    def _label(self, tid) -> str:
+        return self._labels.get(tid, f"thread {tid}")
+
+
+def replay_trace(root) -> list[RaceReport]:
+    """Detect races in a recorded task graph.
+
+    The trace must contain :class:`~repro.runtime.taskgraph.Access` items
+    (recorded when the simulator runs with ``detect_races`` on); its
+    ``Fork`` structure and ``Acquire``/``Release`` items supply exactly the
+    happens-before edges and locksets the live detector uses, so replay
+    reproduces the live reports without re-interpreting the program.
+    """
+    from ..runtime.taskgraph import Access, Acquire, Fork, Release
+
+    detector = RaceDetector()
+    detector.register(root.id, root.label)
+
+    def walk(task) -> None:
+        for item in task.items:
+            if isinstance(item, Access):
+                record = detector.write if item.write else detector.read
+                record(task.id, item.name, item.name, item.span)
+            elif isinstance(item, Acquire):
+                detector.acquire(task.id, item.name)
+            elif isinstance(item, Release):
+                detector.release(task.id, item.name)
+            elif isinstance(item, Fork):
+                for child in item.children:
+                    detector.fork(task.id, child.id, child.label)
+                for child in item.children:
+                    walk(child)
+                if item.join:
+                    for child in item.children:
+                        detector.join(task.id, child.id)
+
+    walk(root)
+    return detector.reports

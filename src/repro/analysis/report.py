@@ -1,0 +1,83 @@
+"""Span-anchored race diagnostics.
+
+A race report is deliberately shaped like the rest of Tetra's diagnostics:
+it names the shared location, the two threads, and both access sites with
+``file:line:column`` positions, and it can render caret snippets for each
+site — the paper's promise that subtle parallel bugs get pointed at, not
+just hinted at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..source import SourceFile, Span
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One side of a racy pair: who touched the location, how, and where."""
+
+    thread: str
+    is_write: bool
+    span: Span
+
+    @property
+    def kind(self) -> str:
+        return "write" if self.is_write else "read"
+
+    def where(self, source: SourceFile | None = None) -> str:
+        name = source.name if source is not None else "<program>"
+        return f"{name}:{self.span.line}:{self.span.column}"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two conflicting accesses to one shared location, unordered by
+    fork/join and protected by no common lock."""
+
+    variable: str
+    first: AccessSite
+    second: AccessSite
+
+    def headline(self, source: SourceFile | None = None) -> str:
+        return (
+            f"data race on '{self.variable}': "
+            f"{self.first.kind} by {self.first.thread} at "
+            f"{self.first.where(source)} and "
+            f"{self.second.kind} by {self.second.thread} at "
+            f"{self.second.where(source)}"
+        )
+
+    def describe(self, source: SourceFile | None = None) -> str:
+        """Multi-line rendering with a caret snippet per access site."""
+        lines = [self.headline(source)]
+        for site in (self.first, self.second):
+            lines.append(f"  {site.kind} by {site.thread}:")
+            if source is not None and site.span.line > 0:
+                for snippet_line in source.caret_snippet(site.span).splitlines():
+                    lines.append(f"    {snippet_line}")
+            else:
+                lines.append(f"    at line {site.span.line}")
+        return "\n".join(lines)
+
+
+def render_race_panel(reports: list[RaceReport],
+                      source: SourceFile | None = None) -> str:
+    """The race panel: what the IDE/CLI shows after a detecting run."""
+    if not reports:
+        return "race detector: no data races observed on this run"
+    count = len(reports)
+    noun = "data race" if count == 1 else "data races"
+    lines = [f"race detector: {count} {noun} found"]
+    for i, report in enumerate(reports, 1):
+        body = report.describe(source)
+        first, *rest = body.splitlines()
+        lines.append(f"[{i}] {first}")
+        lines.extend(rest)
+    lines.append(
+        "these accesses are not ordered by fork/join and share no lock — "
+        "the program's result can change from run to run. Guard them with "
+        "'lock <name>:' or restructure so only one thread touches the data."
+    )
+    return "\n".join(lines)

@@ -15,7 +15,7 @@ need finer control.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .errors import TetraError
 from .parser import parse_source
@@ -44,6 +44,8 @@ class RunResult:
     backend: Backend
     io: CapturingIO
     symbols: ProgramSymbols
+    #: Data races observed by the detector (empty unless ``detect_races``).
+    races: list = field(default_factory=list)
 
     @property
     def output(self) -> str:
@@ -74,13 +76,19 @@ def check_source(text: str, name: str = "<string>") -> list[TetraError]:
 def run_source(text: str, inputs: list[str] | None = None,
                backend: str | Backend = "thread",
                config: RuntimeConfig | None = None,
-               name: str = "<string>", entry: str = "main") -> RunResult:
+               name: str = "<string>", entry: str = "main",
+               detect_races: bool = False) -> RunResult:
     """Compile and run Tetra source, capturing console output.
 
     ``backend`` is a name from :data:`BACKEND_FACTORIES` or a ready-made
     backend instance (e.g. a ``SimBackend(cores=8)`` whose trace you want).
+    ``detect_races=True`` turns on the dynamic race detector; observed
+    races land in :attr:`RunResult.races`.
     """
     program, source = compile_source(text, name)
+    if detect_races:
+        config = replace(config, detect_races=True) if config is not None \
+            else RuntimeConfig(detect_races=True)
     if isinstance(backend, str):
         try:
             factory = BACKEND_FACTORIES[backend]
@@ -96,7 +104,8 @@ def run_source(text: str, inputs: list[str] | None = None,
     interp = Interpreter(program, source, backend=backend_obj, io=io,
                          config=config)
     interp.run(entry)
-    return RunResult(program, backend_obj, io, program.symbols)  # type: ignore[attr-defined]
+    return RunResult(program, backend_obj, io, program.symbols,  # type: ignore[attr-defined]
+                     races=interp.races)
 
 
 def _construct(factory, config: RuntimeConfig):
@@ -106,7 +115,9 @@ def _construct(factory, config: RuntimeConfig):
 
 def run_file(path: str, inputs: list[str] | None = None,
              backend: str | Backend = "thread",
-             config: RuntimeConfig | None = None) -> RunResult:
+             config: RuntimeConfig | None = None,
+             detect_races: bool = False) -> RunResult:
     """Compile and run a ``.ttr`` file."""
     source = SourceFile.from_path(path)
-    return run_source(source.text, inputs, backend, config, name=path)
+    return run_source(source.text, inputs, backend, config, name=path,
+                      detect_races=detect_races)

@@ -83,15 +83,16 @@ class DebugSession:
     MAX_CONTINUE_STEPS = 200_000
 
     def __init__(self, text: str, inputs: list[str] | None = None,
-                 name: str = "<debug>", num_workers: int = 4):
+                 name: str = "<debug>", num_workers: int = 4,
+                 detect_races: bool = False):
         self.program, self.source = compile_source(text, name)
         self.io = CapturingIO(inputs or [])
-        self.backend = CoopBackend(
-            ManualPolicy(),
-            config=RuntimeConfig(num_workers=num_workers),
-        )
+        config = RuntimeConfig(num_workers=num_workers,
+                               detect_races=detect_races)
+        self.backend = CoopBackend(ManualPolicy(), config=config)
         self.interpreter = Interpreter(
-            self.program, self.source, backend=self.backend, io=self.io
+            self.program, self.source, backend=self.backend, io=self.io,
+            config=config,
         )
         self.breakpoints: set[int] = set()
         self.error: TetraError | None = None
@@ -151,6 +152,11 @@ class DebugSession:
     @property
     def output(self) -> str:
         return self.io.output
+
+    @property
+    def races(self) -> list:
+        """Races the detector has observed so far (needs ``detect_races``)."""
+        return self.interpreter.races
 
     def _settle(self) -> None:
         """Wait until every Tetra thread is paused, blocked, or finished."""

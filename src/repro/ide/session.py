@@ -36,6 +36,9 @@ class IDESession:
         self.text = text
         self.console = CapturingIO()
         self.debugger: DebugSession | None = None
+        #: Races the last :meth:`run`'s detector observed (the race panel).
+        self.races: list = []
+        self._last_source = None
 
     # -- editing --------------------------------------------------------
     @staticmethod
@@ -77,27 +80,51 @@ class IDESession:
 
     # -- running --------------------------------------------------------------
     def run(self, inputs: list[str] | None = None,
-            backend: str = "thread") -> str:
+            backend: str = "thread", detect_races: bool = False) -> str:
         """Run the buffer; console output (and any runtime error, rendered
         the way the paper's console pane would show it) is returned and
-        kept in :attr:`console`."""
+        kept in :attr:`console`.  With ``detect_races`` the dynamic race
+        detector watches the run; findings land in :attr:`races` and
+        :meth:`race_panel` renders them console-style."""
         from ..api import BACKEND_FACTORIES, compile_source
         from ..interp import Interpreter
+        from ..runtime import RuntimeConfig
 
         self.console = CapturingIO(inputs or [])
+        self.races = []
+        self._last_source = None
+        interp = None
         try:
             program, source = compile_source(self.text, self.path or "<editor>")
-            backend_obj = BACKEND_FACTORIES[backend]()
-            Interpreter(program, source, backend=backend_obj,
-                        io=self.console).run()
+            self._last_source = source
+            config = RuntimeConfig(detect_races=True) if detect_races else None
+            if config is None:
+                backend_obj = BACKEND_FACTORIES[backend]()
+            else:
+                backend_obj = BACKEND_FACTORIES[backend](config=config)
+            interp = Interpreter(program, source, backend=backend_obj,
+                                 io=self.console, config=config)
+            interp.run()
         except TetraError as exc:
             self.console.write(exc.render() + "\n")
+        finally:
+            if interp is not None:
+                self.races = interp.races
         return self.console.output
 
+    def race_panel(self) -> str:
+        """The race-detector pane for the last :meth:`run` (headless
+        stand-in for an IDE panel listing each race with both sites)."""
+        from ..analysis import render_race_panel
+
+        return render_race_panel(self.races, self._last_source)
+
     # -- debugging ---------------------------------------------------------------
-    def debug(self, inputs: list[str] | None = None) -> DebugSession:
+    def debug(self, inputs: list[str] | None = None,
+              detect_races: bool = False) -> DebugSession:
         """Start a debug session on the buffer (paused at first statement)."""
         self.debugger = DebugSession(self.text, inputs,
-                                     name=self.path or "<editor>")
+                                     name=self.path or "<editor>",
+                                     detect_races=detect_races)
         self.debugger.start()
         return self.debugger

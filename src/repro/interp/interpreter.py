@@ -129,6 +129,14 @@ class Interpreter:
         }
         self._steps = itertools.count(1)
         self._stopped = False
+        # Race detection: None (the common case) costs one attribute test
+        # per shared-memory operation; a detector records happens-before
+        # and lockset evidence for every shared access.
+        self._race = None
+        if self.config.detect_races:
+            from ..analysis.races import RaceDetector
+
+            self._race = RaceDetector()
         self._stmt_dispatch = {
             ExprStmt: self._exec_expr_stmt,
             Assign: self._exec_assign,
@@ -186,6 +194,8 @@ class Interpreter:
         if sys.getrecursionlimit() < needed:
             sys.setrecursionlimit(needed)
         ctx = ThreadContext("main thread")
+        if self._race is not None:
+            self._race.register(ctx.id, ctx.label)
         self.backend.start_program(ctx)
         try:
             self.call_function(fn.name, [], ctx, NO_SPAN)
@@ -250,6 +260,40 @@ class Interpreter:
         """Ask every thread to abandon the program at its next statement."""
         self._stopped = True
 
+    @property
+    def races(self):
+        """Race reports gathered so far (empty unless ``detect_races``)."""
+        return self._race.reports if self._race is not None else []
+
+    # ------------------------------------------------------------------
+    # Race-detection events
+    # ------------------------------------------------------------------
+    def _race_access(self, ctx: ThreadContext, key, display: str, span: Span,
+                     is_write: bool, pin) -> None:
+        """Feed one shared access to the detector (and the sim trace)."""
+        if is_write:
+            self._race.write(ctx.id, key, display, span, pin)
+        else:
+            self._race.read(ctx.id, key, display, span, pin)
+        self.backend.record_access(ctx, display, is_write, span)
+
+    def _race_name_access(self, ctx: ThreadContext, name: str, span: Span,
+                          is_write: bool) -> None:
+        env = ctx.env
+        if env.is_shared(name):
+            self._race_access(ctx, (id(env.frame), name), name, span,
+                              is_write, env.frame)
+
+    def _race_element_access(self, ctx: ThreadContext, base, index,
+                             base_expr: Expr, span: Span,
+                             is_write: bool) -> None:
+        if isinstance(base, (TetraArray, TetraDict)):
+            from ..tetra_ast import unparse
+
+            display = f"{unparse(base_expr)}[{index!r}]"
+            self._race_access(ctx, (id(base), index), display, span,
+                              is_write, base)
+
     # ------------------------------------------------------------------
     # Statements
     # ------------------------------------------------------------------
@@ -291,6 +335,8 @@ class Interpreter:
         if isinstance(target, Name):
             if self._acc:
                 self.backend.charge(ctx, self.cost_model.name_store)
+            if self._race is not None:
+                self._race_name_access(ctx, target.id, target.span, True)
             target_ty = getattr(target, "ty", None)
             ctx.env.set(target.id, coerce_to(value, target_ty) if target_ty else value)
             return
@@ -303,6 +349,12 @@ class Interpreter:
                     TetraRuntimeError, "only class instances have fields",
                     target.span,
                 )
+            if self._race is not None:
+                self._race_access(
+                    ctx, (id(base), target.attr),
+                    f"{base.class_name}.{target.attr}", target.span, True,
+                    base,
+                )
             base.set(target.attr, value, target.span)
             return
         if isinstance(target, Index):
@@ -310,6 +362,9 @@ class Interpreter:
             index = self.eval_expr(target.index, ctx)
             if self._acc:
                 self.backend.charge(ctx, self.cost_model.index_store)
+            if self._race is not None:
+                self._race_element_access(ctx, base, index, target.base,
+                                          target.span, True)
             if isinstance(base, TetraDict):
                 base.set(index, coerce_to(value, base.value_type))
                 return
@@ -425,7 +480,23 @@ class Interpreter:
                 self.exec_stmt(s, c)
 
             jobs.append((child_ctx, thunk))
-        self.backend.spawn_group(ctx, jobs, join=join, span=stmt.span)
+        self._spawn_with_race_edges(ctx, jobs, join, stmt.span)
+
+    def _spawn_with_race_edges(self, ctx: ThreadContext, jobs, join: bool,
+                               span: Span) -> None:
+        """Run a spawn group, bracketing it with fork/join happens-before
+        edges when race detection is on."""
+        det = self._race
+        if det is not None and jobs:
+            det.mark_shared(ctx.env.frame)
+            for child_ctx, _thunk in jobs:
+                det.fork(ctx.id, child_ctx.id, child_ctx.label)
+        try:
+            self.backend.spawn_group(ctx, jobs, join=join, span=span)
+        finally:
+            if det is not None and join:
+                for child_ctx, _thunk in jobs:
+                    det.join(ctx.id, child_ctx.id)
 
     def _exec_parallel_for(self, stmt: ParallelFor, ctx: ThreadContext) -> None:
         items = self._iterate(self.eval_expr(stmt.iterable, ctx), stmt.span)
@@ -452,7 +523,7 @@ class Interpreter:
                     self.exec_block(stmt.body, c)
 
             jobs.append((child_ctx, thunk))
-        self.backend.spawn_group(ctx, jobs, join=True, span=stmt.span)
+        self._spawn_with_race_edges(ctx, jobs, True, stmt.span)
 
     def _partition(self, items: list[Value], workers: int) -> list[list[Value]]:
         """Split the iteration space per the configured chunking policy."""
@@ -470,9 +541,24 @@ class Interpreter:
         return chunks
 
     def _exec_lock(self, stmt: LockStmt, ctx: ThreadContext) -> None:
-        self.backend.lock(
-            ctx, stmt.name, lambda: self.exec_block(stmt.body, ctx), stmt.span
-        )
+        det = self._race
+        if det is None:
+            self.backend.lock(
+                ctx, stmt.name, lambda: self.exec_block(stmt.body, ctx),
+                stmt.span,
+            )
+            return
+
+        def body() -> None:
+            # The detector's lockset tracks the dynamic extent of the body,
+            # which the backend runs strictly inside the real lock hold.
+            det.acquire(ctx.id, stmt.name)
+            try:
+                self.exec_block(stmt.body, ctx)
+            finally:
+                det.release(ctx.id, stmt.name)
+
+        self.backend.lock(ctx, stmt.name, body, stmt.span)
 
     # -- simple statements ---------------------------------------------------
     def _exec_return(self, stmt: Return, ctx: ThreadContext) -> None:
@@ -502,6 +588,8 @@ class Interpreter:
     def _eval_name(self, expr: Name, ctx: ThreadContext) -> Value:
         if self._acc:
             self.backend.charge(ctx, self.cost_model.name_load)
+        if self._race is not None:
+            self._race_name_access(ctx, expr.id, expr.span, False)
         return ctx.env.get(expr.id)
 
     def _eval_array_literal(self, expr: ArrayLiteral, ctx: ThreadContext) -> Value:
@@ -561,6 +649,9 @@ class Interpreter:
         index = self.eval_expr(expr.index, ctx)
         if self._acc:
             self.backend.charge(ctx, self.cost_model.index_load)
+        if self._race is not None:
+            self._race_element_access(ctx, base, index, expr.base,
+                                      expr.span, False)
         if isinstance(base, TetraArray):
             return base.get(index, expr.span)
         if isinstance(base, TetraDict):
@@ -621,6 +712,10 @@ class Interpreter:
                 TetraRuntimeError, "only class instances have fields",
                 expr.span,
             )
+        if self._race is not None:
+            self._race_access(ctx, (id(base), expr.attr),
+                              f"{base.class_name}.{expr.attr}", expr.span,
+                              False, base)
         return base.get(expr.attr, expr.span)
 
     def _eval_method_call(self, expr: MethodCall, ctx: ThreadContext) -> Value:

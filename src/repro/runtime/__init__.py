@@ -15,7 +15,7 @@ from .env import Environment, Frame
 from .locks import LockStats, LockTable
 from .machine import Machine, ScheduleResult, speedup_curve
 from .sim import SimBackend
-from .taskgraph import Acquire, Fork, Release, Task, TraceRecorder, Work
+from .taskgraph import Access, Acquire, Fork, Release, Task, TraceRecorder, Work
 from .values import (
     TetraArray,
     Value,
@@ -38,7 +38,7 @@ __all__ = [
     "DEFAULT_COST_MODEL", "FREE_PARALLELISM", "CostModel",
     "Environment", "Frame", "LockStats", "LockTable",
     "Machine", "ScheduleResult", "speedup_curve", "SimBackend",
-    "Acquire", "Fork", "Release", "Task", "TraceRecorder", "Work",
+    "Access", "Acquire", "Fork", "Release", "Task", "TraceRecorder", "Work",
     "TetraArray", "Value", "coerce_to", "deep_copy", "display",
     "int_div", "int_mod", "make_array", "real_div", "real_mod",
     "tetra_pow", "type_of_value",

@@ -24,12 +24,42 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..errors import TetraError, TetraThreadError
+from ..errors import TetraDeadlockError, TetraError, TetraThreadError
 from ..source import NO_SPAN, Span
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .locks import LockTable
 
 Job = tuple[object, Callable[[], None]]  # (child ThreadContext, thunk)
+
+
+def raise_thread_failures(failures: Sequence[tuple[str, BaseException]],
+                          span: Span, kind: str) -> None:
+    """Propagate worker failures without silently dropping any of them.
+
+    A single Tetra diagnostic is re-raised as itself (its span and phase are
+    already the best report).  Several failures are aggregated into one
+    :class:`TetraThreadError` naming every failed thread — except when all
+    of them are deadlock reports, which describe the same cycle and would
+    only repeat each other.
+    """
+    if not failures:
+        return
+    if len(failures) == 1:
+        label, exc = failures[0]
+        if isinstance(exc, TetraError):
+            raise exc
+        raise TetraThreadError(
+            f"{label} failed with {type(exc).__name__}: {exc}", span
+        ) from exc
+    if all(isinstance(exc, TetraDeadlockError) for _, exc in failures):
+        raise failures[0][1]
+    details = "; ".join(
+        f"{label} failed with {type(exc).__name__}: {exc}"
+        for label, exc in failures
+    )
+    raise TetraThreadError(
+        f"{len(failures)} {kind} threads failed — {details}", span
+    ) from failures[0][1]
 
 
 @dataclass
@@ -50,6 +80,9 @@ class RuntimeConfig:
     step_limit: int = 0
     #: Tetra-level recursion depth limit.
     recursion_limit: int = 200
+    #: Record shared read/write events and report data races
+    #: (happens-before + lockset; see :mod:`repro.analysis.races`).
+    detect_races: bool = False
 
     def __post_init__(self) -> None:
         if self.chunking not in ("block", "cyclic"):
@@ -73,6 +106,12 @@ class Backend:
 
     def checkpoint(self, ctx, node) -> None:
         """Called before each statement: scheduling / cancellation point."""
+
+    def record_access(self, ctx, name: str, write: bool,
+                      span: Span = NO_SPAN) -> None:
+        """Trace hook for shared reads/writes, only called while race
+        detection is on.  The simulator records these into its task graph
+        so saved traces can be replayed through the race detector."""
 
     # -- parallel constructs ----------------------------------------------
     def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
@@ -109,7 +148,7 @@ class ThreadBackend(Backend):
         super().__init__(config)
         self.locks = LockTable()
         self._background: list[threading.Thread] = []
-        self._background_errors: list[BaseException] = []
+        self._background_errors: list[tuple[str, BaseException]] = []
         self._bg_monitor = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -128,7 +167,7 @@ class ThreadBackend(Backend):
                     errors.append((child_ctx.label, exc))
                 if not join:
                     with self._bg_monitor:
-                        self._background_errors.append(exc)
+                        self._background_errors.append((child_ctx.label, exc))
 
         for child_ctx, thunk in jobs:
             thread = threading.Thread(
@@ -143,19 +182,17 @@ class ThreadBackend(Backend):
         if join:
             for thread in threads:
                 thread.join()
-            if errors:
-                label, exc = errors[0]
-                if isinstance(exc, TetraError):
-                    raise exc
-                raise TetraThreadError(
-                    f"{label} failed with {type(exc).__name__}: {exc}", span
-                ) from exc
+            raise_thread_failures(errors, span, "parallel")
         else:
             with self._bg_monitor:
                 self._background.extend(threads)
 
     def parallel_for_workers(self, n_items: int) -> int:
         workers = self.config.num_workers or os.cpu_count() or 1
+        if self.config.detect_races and self.config.num_workers is None:
+            # On a 1-core host a single worker would hide the logical
+            # concurrency the detector exists to report.
+            workers = max(2, workers)
         return max(1, min(workers, n_items))
 
     def lock(self, ctx, name: str, body: Callable[[], None],
@@ -179,15 +216,9 @@ class ThreadBackend(Backend):
                 thread = self._background.pop()
             thread.join()
         with self._bg_monitor:
-            if self._background_errors:
-                exc = self._background_errors[0]
-                self._background_errors.clear()
-                if isinstance(exc, TetraError):
-                    raise exc
-                raise TetraThreadError(
-                    f"a background thread failed with "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
+            failures = list(self._background_errors)
+            self._background_errors.clear()
+        raise_thread_failures(failures, NO_SPAN, "background")
 
 
 class SequentialBackend(Backend):
@@ -211,7 +242,10 @@ class SequentialBackend(Backend):
             thunk()
 
     def parallel_for_workers(self, n_items: int) -> int:
-        return max(1, min(self.config.num_workers or 1, n_items))
+        workers = self.config.num_workers or 1
+        if self.config.detect_races and self.config.num_workers is None:
+            workers = 2  # surface logical concurrency to the detector
+        return max(1, min(workers, n_items))
 
     def lock(self, ctx, name: str, body: Callable[[], None],
              span: Span = NO_SPAN) -> None:

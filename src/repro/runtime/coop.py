@@ -36,7 +36,7 @@ from typing import Callable, Sequence
 
 from ..errors import TetraDeadlockError, TetraError, TetraThreadError
 from ..source import NO_SPAN, Span
-from .backend import Backend, Job, RuntimeConfig
+from .backend import Backend, Job, RuntimeConfig, raise_thread_failures
 
 _INF = float("inf")
 
@@ -433,15 +433,9 @@ class CoopBackend(Backend):
             sched.block_for_join(ctx, [child_ctx.id for child_ctx, _ in jobs])
             for thread in threads:
                 thread.join()
-            for record in records:
-                if record.error is not None:
-                    exc = record.error
-                    if isinstance(exc, TetraError):
-                        raise exc
-                    raise TetraThreadError(
-                        f"{record.label} failed with {type(exc).__name__}: {exc}",
-                        span,
-                    ) from exc
+            failures = [(r.label, r.error) for r in records
+                        if r.error is not None]
+            raise_thread_failures(failures, span, "parallel")
         else:
             self._background.extend(threads)
             self._background_ctxs.extend(records)
@@ -474,7 +468,11 @@ class CoopBackend(Backend):
             )
             for thread in self._background:
                 thread.join()
-            for record in self._background_ctxs:
-                if record.error is not None and isinstance(record.error, TetraError):
-                    raise record.error
+            failures = [(r.label, r.error) for r in self._background_ctxs
+                        if r.error is not None]
+            try:
+                raise_thread_failures(failures, NO_SPAN, "background")
+            finally:
+                self.scheduler.thread_finished(root_ctx, None)
+            return
         self.scheduler.thread_finished(root_ctx, None)

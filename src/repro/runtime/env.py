@@ -27,12 +27,16 @@ from .values import Value
 class Frame:
     """One function activation's variables (the shared symbol table)."""
 
-    __slots__ = ("function_name", "vars", "depth")
+    __slots__ = ("function_name", "vars", "depth", "shared")
 
     def __init__(self, function_name: str, depth: int = 0):
         self.function_name = function_name
         self.vars: dict[str, Value] = {}
         self.depth = depth
+        #: Set (by the race detector) once a parallel construct hands this
+        #: frame to child threads; accesses to a never-shared frame cannot
+        #: race and are not worth recording.
+        self.shared = False
 
     def __repr__(self) -> str:
         return f"Frame({self.function_name}, {sorted(self.vars)})"
@@ -79,6 +83,11 @@ class Environment:
             self.private[name] = value
         else:
             self.frame.vars[name] = value
+
+    def is_shared(self, name: str) -> bool:
+        """True when ``name`` resolves to a frame several threads can see —
+        the only bindings whose accesses the race detector records."""
+        return self.frame.shared and name not in self.private
 
     def has(self, name: str) -> bool:
         return name in self.private or name in self.frame.vars

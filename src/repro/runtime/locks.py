@@ -11,8 +11,15 @@ Both are exactly the phenomena Tetra exists to teach, so this table turns
 them into a :class:`~repro.errors.TetraDeadlockError` that names the threads
 and locks in the cycle.  Detection uses the classic wait-for graph: thread →
 lock it waits on → owner thread → ...; a cycle back to the start is a
-deadlock.  Waiting threads poll with a short timeout so a cycle formed
-*after* they blocked is still found.
+deadlock.
+
+Detection is event-driven: the thread whose blocking *completes* a cycle
+always sees the full cycle in the wait-for graph at the moment it blocks
+(every other participant is already recorded as waiting), so one check at
+block time plus one on each ownership-change wakeup finds every deadlock.
+Blocked threads sleep on a condition variable between wakeups instead of
+burning CPU on a 20 ms poll; a slow fallback poll remains purely as a
+safety net against lost wakeups.
 """
 
 from __future__ import annotations
@@ -39,12 +46,16 @@ class LockStats:
 class LockTable:
     """All named locks of one running program."""
 
-    #: How often blocked threads wake up to re-check the wait-for graph.
-    POLL_INTERVAL = 0.02
+    #: Safety-net poll for blocked threads.  Correctness never depends on
+    #: it: cycles are found at block time and on ownership-change wakeups.
+    FALLBACK_POLL = 0.5
 
     def __init__(self) -> None:
         self._monitor = threading.Lock()
-        self._locks: dict[str, threading.Lock] = {}
+        #: Signalled on every ownership change (release); the monitor above
+        #: is its underlying lock, so waiters re-check under the monitor.
+        self._changed = threading.Condition(self._monitor)
+        self._names: set[str] = set()
         self._owners: dict[str, ThreadKey] = {}
         self._owner_labels: dict[ThreadKey, str] = {}
         self._waiting: dict[ThreadKey, str] = {}
@@ -61,7 +72,7 @@ class LockTable:
 
     def known_locks(self) -> list[str]:
         with self._monitor:
-            return sorted(self._locks)
+            return sorted(self._names)
 
     def holder_of(self, name: str) -> ThreadKey | None:
         with self._monitor:
@@ -69,8 +80,8 @@ class LockTable:
 
     # ------------------------------------------------------------------
     def acquire(self, name: str, key: ThreadKey, span: Span = NO_SPAN) -> None:
-        with self._monitor:
-            lock = self._locks.setdefault(name, threading.Lock())
+        with self._changed:
+            self._names.add(name)
             stats = self.stats.setdefault(name, LockStats())
             owner = self._owners.get(name)
             if owner == key:
@@ -84,22 +95,23 @@ class LockTable:
                 stats.contended_acquisitions += 1
             stats.acquisitions += 1
             self._waiting[key] = name
-
-        try:
-            while not lock.acquire(timeout=self.POLL_INTERVAL):
-                cycle = self._find_cycle(key)
-                if cycle:
-                    raise TetraDeadlockError(
-                        self._cycle_message(cycle), span, cycle=tuple(cycle)
-                    )
-        finally:
-            with self._monitor:
+            try:
+                while self._owners.get(name) is not None:
+                    # Checked at block time — the thread that closes a cycle
+                    # always sees it here — and again on every wakeup.
+                    cycle = self._find_cycle(key)
+                    if cycle:
+                        raise TetraDeadlockError(
+                            self._cycle_message(cycle), span,
+                            cycle=tuple(cycle),
+                        )
+                    self._changed.wait(timeout=self.FALLBACK_POLL)
+                self._owners[name] = key
+            finally:
                 self._waiting.pop(key, None)
-        with self._monitor:
-            self._owners[name] = key
 
     def release(self, name: str, key: ThreadKey) -> None:
-        with self._monitor:
+        with self._changed:
             if self._owners.get(name) != key:
                 # Structured lock blocks make this unreachable from Tetra
                 # programs; guard against interpreter bugs anyway.
@@ -107,31 +119,30 @@ class LockTable:
                     f"{self._label(key)} released 'lock {name}:' it does not hold"
                 )
             del self._owners[name]
-            self._locks[name].release()
+            self._changed.notify_all()
 
     # ------------------------------------------------------------------
     def _find_cycle(self, start: ThreadKey) -> list[str] | None:
-        """Walk thread→lock→owner edges from ``start``; return a readable
-        cycle description if it loops back."""
-        with self._monitor:
-            path: list[str] = []
-            current = start
-            visited: set = set()
-            while True:
-                lock_name = self._waiting.get(current)
-                if lock_name is None:
-                    return None
-                path.append(f"{self._label(current)} waits for 'lock {lock_name}'")
-                owner = self._owners.get(lock_name)
-                if owner is None:
-                    return None
-                path.append(f"'lock {lock_name}' is held by {self._label(owner)}")
-                if owner == start:
-                    return path
-                if owner in visited:
-                    return None  # a cycle not involving us; its members report it
-                visited.add(owner)
-                current = owner
+        """Walk thread→lock→owner edges from ``start`` (monitor held);
+        return a readable cycle description if it loops back."""
+        path: list[str] = []
+        current = start
+        visited: set = set()
+        while True:
+            lock_name = self._waiting.get(current)
+            if lock_name is None:
+                return None
+            path.append(f"{self._label(current)} waits for 'lock {lock_name}'")
+            owner = self._owners.get(lock_name)
+            if owner is None:
+                return None
+            path.append(f"'lock {lock_name}' is held by {self._label(owner)}")
+            if owner == start:
+                return path
+            if owner in visited:
+                return None  # a cycle not involving us; its members report it
+            visited.add(owner)
+            current = owner
 
     @staticmethod
     def _cycle_message(cycle: list[str]) -> str:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from ..errors import TetraDeadlockError
 from .cost import DEFAULT_COST_MODEL, CostModel
-from .taskgraph import Acquire, Fork, Release, Task, Work
+from .taskgraph import Access, Acquire, Fork, Release, Task, Work
 
 
 @dataclass
@@ -163,6 +163,10 @@ class Machine:
                         lock_owner[item.name] = next_run
                         next_run.pc += 1  # past its Acquire
                         ready.append(next_run)
+                    run.pc += 1
+                    continue
+                if isinstance(item, Access):
+                    # Race-detection annotations carry no scheduling cost.
                     run.pc += 1
                     continue
                 if isinstance(item, Fork):

@@ -39,6 +39,12 @@ class SimBackend(Backend):
     def charge(self, ctx, units: int) -> None:
         self.recorder.charge(units)
 
+    def record_access(self, ctx, name: str, write: bool,
+                      span: Span = NO_SPAN) -> None:
+        # Only called while race detection is on; the trace then doubles as
+        # input for repro.analysis.races.replay_trace.
+        self.recorder.access(name, write, span)
+
     def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
                     span: Span = NO_SPAN) -> None:
         cm = self.cost_model

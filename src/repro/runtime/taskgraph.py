@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Union
 
+from ..source import NO_SPAN, Span
+
 
 @dataclass
 class Work:
@@ -38,6 +40,18 @@ class Release:
 
 
 @dataclass
+class Access:
+    """A shared-memory read (``write=False``) or write, with its source
+    span.  Recorded only when race detection is on; the machine model
+    ignores these (they cost nothing), but
+    :func:`repro.analysis.races.replay_trace` consumes them."""
+
+    name: str
+    write: bool
+    span: Span = NO_SPAN
+
+
+@dataclass
 class Fork:
     """Spawn ``children``; if ``join``, wait for all of them to finish."""
 
@@ -45,7 +59,7 @@ class Fork:
     join: bool
 
 
-TraceItem = Union[Work, Acquire, Release, Fork]
+TraceItem = Union[Work, Acquire, Release, Access, Fork]
 
 
 @dataclass
@@ -147,6 +161,10 @@ class TraceRecorder:
 
     def exit_child(self) -> None:
         self._stack.pop()
+
+    def access(self, name: str, write: bool, span: Span = NO_SPAN) -> None:
+        """Record a shared-memory access (race-detection runs only)."""
+        self.current.items.append(Access(name, write, span))
 
     def acquire(self, name: str) -> bool:
         """Record a lock acquisition.  Returns False if the current task

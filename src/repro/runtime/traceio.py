@@ -15,7 +15,8 @@ from __future__ import annotations
 import json
 
 from ..errors import TetraError
-from .taskgraph import Acquire, Fork, Release, Task, TraceItem, Work
+from ..source import Span
+from .taskgraph import Access, Acquire, Fork, Release, Task, TraceItem, Work
 
 #: Format marker: bump on breaking layout changes.
 FORMAT = "tetra-trace/1"
@@ -28,6 +29,13 @@ def _item_to_json(item: TraceItem) -> dict:
         return {"acquire": item.name}
     if isinstance(item, Release):
         return {"release": item.name}
+    if isinstance(item, Access):
+        return {
+            "access": item.name,
+            "write": item.write,
+            "span": [item.span.start, item.span.end,
+                     item.span.line, item.span.column],
+        }
     if isinstance(item, Fork):
         return {
             "fork": [_task_to_json(c) for c in item.children],
@@ -59,6 +67,10 @@ def _item_from_json(data: dict) -> TraceItem:
         return Acquire(str(data["acquire"]))
     if "release" in data:
         return Release(str(data["release"]))
+    if "access" in data:
+        raw_span = data.get("span") or [0, 0, 0, 0]
+        return Access(str(data["access"]), bool(data.get("write", False)),
+                      Span(*(int(v) for v in raw_span)))
     if "fork" in data:
         children = [_task_from_json(c) for c in data["fork"]]
         return Fork(children, bool(data.get("join", True)))

@@ -40,21 +40,38 @@ def _read(path: str) -> SourceFile:
 
 def cmd_run(args: argparse.Namespace) -> int:
     source = _read(args.file)
+    workers = args.workers
+    if args.detect_races and workers is None:
+        # The sequential backend defaults to one parallel-for worker, which
+        # would hide logical concurrency from the detector.
+        import os
+
+        workers = max(2, os.cpu_count() or 2)
     config = RuntimeConfig(
-        num_workers=args.workers,
+        num_workers=workers,
         chunking=args.chunking,
+        detect_races=args.detect_races,
     )
+    interp = None
+    code = 0
     try:
         program = parse_source(source)
         from ..types import check_program
 
         check_program(program, source)
         backend = BACKEND_FACTORIES[args.backend](config=config)
-        Interpreter(program, source, backend=backend).run()
+        interp = Interpreter(program, source, backend=backend)
+        interp.run()
     except TetraError as exc:
         print(exc.attach_source(source).render(), file=sys.stderr)
-        return 1
-    return 0
+        code = 1
+    if args.detect_races and interp is not None:
+        from ..analysis import render_race_panel
+
+        print(render_race_panel(interp.races, source), file=sys.stderr)
+        if interp.races and code == 0:
+            code = 3
+    return code
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -244,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker threads for 'parallel for'")
     run.add_argument("--chunking", choices=["block", "cyclic"],
                      default="block", help="parallel-for iteration split")
+    run.add_argument("--detect-races", action="store_true",
+                     help="watch shared variables for data races and print "
+                          "a report after the run (exit code 3 if any)")
     run.set_defaults(func=cmd_run)
 
     check = sub.add_parser("check", help="type-check without running")

@@ -380,6 +380,39 @@ class TestParallelRules:
                         break
         """)
 
+    def test_break_cannot_cross_from_enclosing_loop(self):
+        # The enclosing while does NOT make break legal inside the parallel
+        # for body: iterations are independent and cannot abort the loop.
+        reject("""
+            def main():
+                while true:
+                    parallel for x in [1, 2]:
+                        break
+        """, "cannot cross into a 'parallel for'")
+
+    def test_continue_cannot_cross_from_enclosing_loop(self):
+        reject("""
+            def main():
+                while true:
+                    parallel for x in [1, 2]:
+                        continue
+        """, "cannot cross into a 'parallel for'")
+
+    def test_continue_cannot_cross_parallel_for(self):
+        reject("""
+            def main():
+                parallel for x in [1, 2]:
+                    continue
+        """, "'continue' outside a loop")
+
+    def test_continue_in_loop_inside_parallel_ok(self):
+        accept("""
+            def main():
+                parallel for x in [1, 2]:
+                    for i in [1 ... 3]:
+                        continue
+        """)
+
     def test_continue_outside_loop(self):
         reject(in_main("continue"), "'continue' outside a loop")
 

@@ -10,6 +10,13 @@ from repro.programs import (
 )
 
 
+def example(name: str) -> str:
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    return str(root / "examples" / "tetra" / name)
+
+
 @pytest.fixture
 def prog(tmp_path):
     def write(text, name="prog.ttr"):
@@ -55,6 +62,37 @@ class TestRun:
         err = capsys.readouterr().err
         assert "index error" in err
         assert "^" in err
+
+    def test_detect_races_reports_race(self, capsys):
+        code = main(["run", example("race_demo.ttr"),
+                     "--detect-races", "--workers", "4"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "data race on 'largest'" in captured.err
+        assert "race_demo.ttr:" in captured.err  # file:line anchors
+        assert "write by" in captured.err and "read by" in captured.err
+
+    def test_detect_races_quiet_on_locked_program(self, capsys):
+        code = main(["run", example("bank_account.ttr"),
+                     "--detect-races", "--workers", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no data races" in captured.err
+
+    def test_detect_races_deterministic_on_coop(self, capsys):
+        reports = set()
+        for _ in range(10):
+            main(["run", example("race_demo.ttr"), "--detect-races",
+                  "--backend", "coop", "--workers", "4"])
+            err = capsys.readouterr().err
+            reports.add("\n".join(
+                line for line in err.splitlines() if "data race" in line
+            ))
+        assert len(reports) == 1
+
+    def test_no_flag_no_panel(self, prog, capsys):
+        assert main(["run", prog(FIGURE_2_PARALLEL_SUM)]) == 0
+        assert "race detector" not in capsys.readouterr().err
 
     def test_missing_file(self, capsys):
         with pytest.raises(SystemExit):

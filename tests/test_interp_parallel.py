@@ -351,3 +351,115 @@ class TestThreadBackendConcurrency:
                         total += 1
                 print(total)
         """, config=config) == ["1000"]
+
+
+class TestFailureAggregation:
+    """Every failed worker is reported, not just the first one joined."""
+
+    TWO_FAILING_CHILDREN = """
+        def main():
+            parallel:
+                x = [1][7]
+            # --
+                y = [2][8]
+            print("after")
+    """
+
+    def test_two_failing_parallel_children_both_reported(self):
+        with pytest.raises(TetraThreadError) as info:
+            run(self.TWO_FAILING_CHILDREN.replace("# --", ""))
+        message = str(info.value)
+        assert "2 parallel threads failed" in message
+        assert "7" in message and "8" in message
+
+    def test_two_failing_parallel_children_coop(self):
+        with pytest.raises(TetraThreadError) as info:
+            run(self.TWO_FAILING_CHILDREN.replace("# --", ""), backend="coop")
+        message = str(info.value)
+        assert "2 parallel threads failed" in message
+
+    def test_one_failure_keeps_original_error_type(self, any_backend):
+        # A single failing child still surfaces its own error class, so
+        # existing catch semantics don't change.
+        with pytest.raises(TetraRuntimeError):
+            run("""
+                def main():
+                    parallel:
+                        x = [1][9]
+                        print("sibling ok")
+            """, backend=any_backend)
+
+    def test_two_failing_background_blocks_both_reported(self):
+        with pytest.raises(TetraThreadError) as info:
+            run("""
+                def main():
+                    background:
+                        x = [1][7]
+                    background:
+                        y = [2][8]
+                    print("fg")
+            """)
+        message = str(info.value)
+        assert "2 background threads failed" in message
+        assert "7" in message and "8" in message
+
+    def test_two_failing_background_blocks_coop(self):
+        with pytest.raises(TetraThreadError) as info:
+            run("""
+                def main():
+                    background:
+                        x = [1][7]
+                    background:
+                        y = [2][8]
+                    print("fg")
+            """, backend="coop")
+        assert "2 background threads failed" in str(info.value)
+
+    def test_failure_message_names_threads(self):
+        with pytest.raises(TetraThreadError) as info:
+            run(self.TWO_FAILING_CHILDREN.replace("# --", ""))
+        # Both children appear by label in the aggregate message.
+        assert str(info.value).count("failed with") == 2
+
+
+class TestParallelForEdgeCases:
+    def test_cyclic_chunking_more_workers_than_items(self):
+        config = RuntimeConfig(num_workers=16, chunking="cyclic")
+        assert run("""
+            def main():
+                total = 0
+                parallel for i in [1 ... 3]:
+                    lock total:
+                        total += i
+                print(total)
+        """, config=config) == ["6"]
+
+    def test_cyclic_chunking_empty_iterable(self, any_backend):
+        config = RuntimeConfig(num_workers=4, chunking="cyclic")
+        assert run("""
+            def main():
+                parallel for i in [5 ... 4]:
+                    print("never")
+                print("empty ok")
+        """, backend=any_backend, config=config) == ["empty ok"]
+
+    def test_cyclic_chunking_empty_array(self, any_backend):
+        config = RuntimeConfig(num_workers=4, chunking="cyclic")
+        assert run("""
+            def main():
+                items = [0]
+                parallel for x in items:
+                    print(x)
+                print("one")
+        """, backend=any_backend, config=config) == ["0", "one"]
+
+    def test_cyclic_chunking_preserves_element_coverage(self):
+        # num_workers > len(items): every item runs exactly once.
+        config = RuntimeConfig(num_workers=7, chunking="cyclic")
+        assert run("""
+            def main():
+                out = array(4, 0)
+                parallel for i in [0 ... 3]:
+                    out[i] = out[i] + 1
+                print(out)
+        """, config=config) == ["[1, 1, 1, 1]"]

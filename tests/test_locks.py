@@ -179,3 +179,73 @@ class TestDeadlockDetection:
             t.join(timeout=10)
         assert caught
         assert caught[0].cycle  # the cycle description is attached
+
+
+class TestEventDrivenWaiting:
+    """The table wakes waiters on release and checks for cycles at block
+    time — it must never depend on the fallback poll for correctness."""
+
+    def test_release_wakes_waiter_promptly(self, monkeypatch):
+        # With the fallback poll effectively disabled, a waiter must still
+        # be woken by the release notification.
+        monkeypatch.setattr(LockTable, "FALLBACK_POLL", 60.0)
+        table = LockTable()
+        table.acquire("a", 1)
+        acquired = threading.Event()
+
+        def waiter():
+            table.acquire("a", 2)
+            acquired.set()
+            table.release("a", 2)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)  # let the waiter block
+        start = time.monotonic()
+        table.release("a", 1)
+        assert acquired.wait(timeout=2.0), \
+            "waiter not woken by release (stuck until fallback poll)"
+        assert time.monotonic() - start < 2.0
+        t.join(timeout=5)
+
+    def test_cycle_detected_at_block_time(self, monkeypatch):
+        # The thread that closes the cycle sees it immediately when it
+        # blocks — no polling needed.
+        monkeypatch.setattr(LockTable, "FALLBACK_POLL", 60.0)
+        table = LockTable()
+        table.register_thread("T1", "thread one")
+        table.register_thread("T2", "thread two")
+        table.acquire("a", "T1")
+        table.acquire("b", "T2")
+        caught = threading.Event()
+        results = {}
+
+        def t1():
+            try:
+                table.acquire("b", "T1")
+                table.release("b", "T1")
+            except TetraDeadlockError as e:
+                results["T1"] = e
+                caught.set()
+            finally:
+                table.release("a", "T1")
+
+        def t2():
+            try:
+                table.acquire("a", "T2")
+                table.release("a", "T2")
+            except TetraDeadlockError as e:
+                results["T2"] = e
+                caught.set()
+            finally:
+                table.release("b", "T2")
+
+        threads = [threading.Thread(target=t1), threading.Thread(target=t2)]
+        start = time.monotonic()
+        for t in threads:
+            t.start()
+        assert caught.wait(timeout=5.0), "cycle not detected at block time"
+        assert time.monotonic() - start < 5.0
+        for t in threads:
+            t.join(timeout=10)
+        assert results

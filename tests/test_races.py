@@ -1,0 +1,315 @@
+"""Dynamic race detector tests: true positives, no false positives,
+determinism, every surface (API, trace replay, CLI, IDE, debugger)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from conftest import run
+from repro.analysis import RaceDetector, render_race_panel, replay_trace
+from repro.api import run_source
+from repro.runtime import RuntimeConfig, SimBackend
+
+CONFIG = RuntimeConfig(num_workers=4, detect_races=True)
+
+RACY_MAX = """
+    def main():
+        nums = [3, 90, 14, 50, 7, 61]
+        largest = 0
+        parallel for num in nums:
+            if num > largest:
+                largest = num
+        print(largest)
+"""
+
+LOCKED_MAX = """
+    def main():
+        nums = [3, 90, 14, 50, 7, 61]
+        largest = 0
+        parallel for num in nums:
+            lock guard:
+                if num > largest:
+                    largest = num
+        print(largest)
+"""
+
+
+def races_of(text: str, backend: str = "thread", **kwargs):
+    result = run_source(textwrap.dedent(text), backend=backend,
+                        config=CONFIG, **kwargs)
+    return result.races
+
+
+class TestTruePositives:
+    def test_racy_max_detected_on_every_backend(self, any_backend):
+        races = races_of(RACY_MAX, backend=any_backend)
+        assert races, f"{any_backend} backend missed the race"
+        report = races[0]
+        assert report.variable == "largest"
+
+    def test_report_names_both_sites(self):
+        races = races_of(RACY_MAX, backend="coop")
+        kinds = {races[0].first.is_write, races[0].second.is_write}
+        assert True in kinds  # at least one side is a write
+        # Both spans point into the parallel-for body (lines 6/7 of the
+        # dedented source).
+        lines = {races[0].first.span.line, races[0].second.span.line}
+        assert lines <= {6, 7}
+        assert races[0].first.thread != races[0].second.thread
+        headline = races[0].headline()
+        assert "data race on 'largest'" in headline
+        assert ":6:" in headline or ":7:" in headline
+
+    def test_parallel_block_write_write(self, any_backend):
+        races = races_of("""
+            def main():
+                total = 0
+                parallel:
+                    total = total + 1
+                    total = total + 2
+                print(total)
+        """, backend=any_backend)
+        assert any(r.variable == "total" for r in races)
+
+    def test_background_races_with_main(self, any_backend):
+        races = races_of("""
+            def main():
+                flag = 0
+                background:
+                    flag = 1
+                flag = 2
+                print("done")
+        """, backend=any_backend)
+        assert any(r.variable == "flag" for r in races)
+
+    def test_object_field_race(self, any_backend):
+        races = races_of("""
+            class Account:
+                balance int
+
+            def main():
+                acct = Account(100)
+                parallel for i in [1 ... 4]:
+                    acct.balance = acct.balance + 1
+                print(acct.balance)
+        """, backend=any_backend)
+        assert any("balance" in r.variable for r in races)
+
+    def test_array_element_race(self, any_backend):
+        races = races_of("""
+            def main():
+                data = array(2, 0)
+                parallel for i in [1 ... 4]:
+                    data[0] = data[0] + i
+                print(data[0])
+        """, backend=any_backend)
+        assert any("[0]" in r.variable for r in races)
+
+
+class TestNoFalsePositives:
+    def test_locked_max_is_quiet(self, any_backend):
+        assert races_of(LOCKED_MAX, backend=any_backend) == []
+
+    def test_disjoint_array_elements_are_quiet(self, any_backend):
+        races = races_of("""
+            def main():
+                data = array(4, 0)
+                parallel for i in [0 ... 3]:
+                    data[i] = i * i
+                print(data[3])
+        """, backend=any_backend)
+        assert races == []
+
+    def test_access_after_join_is_ordered(self, any_backend):
+        races = races_of("""
+            def main():
+                x = 0
+                parallel:
+                    x = 1
+                x = 2
+                print(x)
+        """, backend=any_backend)
+        assert races == []
+
+    def test_private_induction_variable_is_quiet(self, any_backend):
+        races = races_of("""
+            def main():
+                total = 0
+                parallel for i in [1 ... 8]:
+                    lock guard:
+                        total = total + i
+                print(total)
+        """, backend=any_backend)
+        assert races == []
+
+    def test_bank_account_example_is_quiet(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        text = (root / "examples" / "tetra" / "bank_account.ttr").read_text()
+        result = run_source(text, config=CONFIG)
+        assert result.races == []
+
+    def test_detector_off_by_default(self):
+        result = run_source(textwrap.dedent(RACY_MAX))
+        assert result.races == []
+
+
+class TestDeterminism:
+    def test_coop_reports_identical_across_runs(self):
+        def signature():
+            races = races_of(RACY_MAX, backend="coop")
+            return tuple(sorted(
+                (r.variable, r.first.span.line, r.second.span.line)
+                for r in races
+            ))
+
+        first = signature()
+        assert first
+        for _ in range(9):
+            assert signature() == first
+
+
+class TestTraceReplay:
+    def test_replay_matches_live_detection(self):
+        backend = SimBackend(config=CONFIG)
+        result = run_source(textwrap.dedent(RACY_MAX), backend=backend,
+                            config=CONFIG)
+        assert result.races
+        replayed = replay_trace(backend.trace)
+        assert {r.variable for r in replayed} == \
+            {r.variable for r in result.races}
+
+    def test_replay_survives_json_round_trip(self):
+        from repro.runtime.traceio import trace_from_json, trace_to_json
+
+        backend = SimBackend(config=CONFIG)
+        run_source(textwrap.dedent(RACY_MAX), backend=backend, config=CONFIG)
+        restored = trace_from_json(trace_to_json(backend.trace))
+        assert any(r.variable == "largest" for r in replay_trace(restored))
+
+    def test_locked_trace_replays_quiet(self):
+        backend = SimBackend(config=CONFIG)
+        run_source(textwrap.dedent(LOCKED_MAX), backend=backend,
+                   config=CONFIG)
+        assert replay_trace(backend.trace) == []
+
+
+class TestDetectorUnit:
+    def test_fork_join_orders_accesses(self):
+        det = RaceDetector()
+        det.register("main", "main thread")
+        det.fork("main", "child", "child 1")
+        det.write("child", "x", "x", _span(3))
+        det.join("main", "child")
+        det.write("main", "x", "x", _span(5))
+        assert det.reports == []
+
+    def test_unjoined_fork_races(self):
+        det = RaceDetector()
+        det.register("main", "main thread")
+        det.fork("main", "child", "child 1")
+        det.write("child", "x", "x", _span(3))
+        det.write("main", "x", "x", _span(5))
+        assert len(det.reports) == 1
+        assert det.reports[0].variable == "x"
+
+    def test_common_lock_suppresses(self):
+        det = RaceDetector()
+        det.register("main", "main thread")
+        det.fork("main", "child", "child 1")
+        det.acquire("child", "guard")
+        det.write("child", "x", "x", _span(3))
+        det.release("child", "guard")
+        det.acquire("main", "guard")
+        det.write("main", "x", "x", _span(5))
+        det.release("main", "guard")
+        assert det.reports == []
+
+    def test_duplicate_site_pairs_reported_once(self):
+        det = RaceDetector()
+        det.register("main", "main thread")
+        det.fork("main", "a", "worker a")
+        det.fork("main", "b", "worker b")
+        for _ in range(5):
+            det.write("a", "x", "x", _span(3))
+            det.write("b", "x", "x", _span(3))
+        assert len(det.reports) == 1
+
+    def test_read_read_is_not_a_race(self):
+        det = RaceDetector()
+        det.register("main", "main thread")
+        det.fork("main", "a", "worker a")
+        det.read("a", "x", "x", _span(3))
+        det.read("main", "x", "x", _span(5))
+        assert det.reports == []
+
+
+class TestPanel:
+    def test_empty_panel(self):
+        assert "no data races" in render_race_panel([])
+
+    def test_panel_counts_and_advises(self):
+        races = races_of(RACY_MAX, backend="coop")
+        panel = render_race_panel(races)
+        assert "race detector:" in panel
+        assert "data race" in panel
+        assert "lock" in panel
+
+
+class TestSurfaces:
+    def test_ide_session_race_panel(self):
+        from repro.ide.session import IDESession
+
+        session = IDESession(textwrap.dedent(RACY_MAX))
+        session.run(backend="coop", detect_races=True)
+        assert session.races
+        panel = session.race_panel()
+        assert "data race on 'largest'" in panel
+        assert ":6:" in panel or ":7:" in panel
+
+    def test_ide_session_quiet_without_flag(self):
+        from repro.ide.session import IDESession
+
+        session = IDESession(textwrap.dedent(RACY_MAX))
+        session.run(backend="coop")
+        assert session.races == []
+        assert "no data races" in session.race_panel()
+
+    def test_debugger_collects_races(self):
+        from repro.ide.debugger import DebugSession
+
+        dbg = DebugSession(textwrap.dedent(RACY_MAX), detect_races=True)
+        dbg.start()
+        dbg.continue_all()
+        assert any(r.variable == "largest" for r in dbg.races)
+
+    def test_run_output_still_correct_with_detector(self, any_backend):
+        lines = run(LOCKED_MAX, backend=any_backend, config=CONFIG)
+        assert lines == ["90"]
+
+
+def _span(line: int):
+    from repro.source import Span
+
+    return Span(0, 0, line, 1)
+
+
+class TestWorkerDefaults:
+    def test_detection_works_without_explicit_workers(self, any_backend):
+        # Even on a 1-core host the default worker count must expose the
+        # parallel-for's logical concurrency to the detector.
+        result = run_source(textwrap.dedent(RACY_MAX), backend=any_backend,
+                            detect_races=True)
+        assert result.races, \
+            f"{any_backend} found no race with default workers"
+
+    def test_explicit_single_worker_is_genuinely_race_free(self):
+        # --workers 1 really does serialize the loop in one thread; the
+        # detector staying quiet is correct, not a false negative.
+        config = RuntimeConfig(num_workers=1, detect_races=True)
+        result = run_source(textwrap.dedent(RACY_MAX), config=config)
+        assert result.races == []
+        assert result.output_lines() == ["90"]
