@@ -19,8 +19,11 @@ Quick start::
 from .api import (
     BACKEND_FACTORIES,
     RunResult,
+    cached_program,
     check_source,
+    clear_program_cache,
     compile_source,
+    program_cache_info,
     run_file,
     run_source,
 )
@@ -46,7 +49,8 @@ from .runtime import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "BACKEND_FACTORIES", "RunResult", "check_source", "compile_source",
+    "BACKEND_FACTORIES", "RunResult", "cached_program", "check_source",
+    "clear_program_cache", "compile_source", "program_cache_info",
     "run_file", "run_source",
     "TetraDeadlockError", "TetraError", "TetraRuntimeError",
     "TetraSyntaxError", "TetraTypeError",

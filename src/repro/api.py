@@ -11,10 +11,23 @@
 Every function here composes the pipeline (lex → parse → check → interpret)
 with sensible defaults; the underlying pieces stay importable for tools that
 need finer control.
+
+Repeat runs of the same source — REPL loops, IDE re-runs, benchmark
+harnesses — go through a small LRU **program cache** keyed by
+``(sha256(text), name, entry)``: the lex/parse/check work happens once and
+the checked AST (with its type annotations and symbol tables) is reused.
+The AST is read-only during interpretation, so cached programs are safe to
+share across runs, backends, and threads; per-interpreter state (the
+closure trees of the fast path) is rebuilt per run, which is a single
+O(nodes) pass.  Pass ``cache=False`` (or ``tetra run --no-cache``) to
+bypass it, e.g. when benchmarking the front end itself.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 from .errors import TetraError
@@ -46,6 +59,8 @@ class RunResult:
     symbols: ProgramSymbols
     #: Data races observed by the detector (empty unless ``detect_races``).
     races: list = field(default_factory=list)
+    #: The program's display name (file path or the default "<string>").
+    name: str = "<string>"
 
     @property
     def output(self) -> str:
@@ -54,6 +69,14 @@ class RunResult:
     def output_lines(self) -> list[str]:
         return self.io.lines()
 
+    def __repr__(self) -> str:
+        # The default dataclass repr would dump the whole AST, backend, and
+        # symbol tables — hundreds of lines in a pytest failure report.
+        return (
+            f"<RunResult {self.name!r} backend={self.backend.name} "
+            f"output={len(self.output)} chars races={len(self.races)}>"
+        )
+
 
 def compile_source(text: str, name: str = "<string>") -> tuple[Program, SourceFile]:
     """Parse and type-check; returns the checked program and its source."""
@@ -61,6 +84,66 @@ def compile_source(text: str, name: str = "<string>") -> tuple[Program, SourceFi
     program = parse_source(source)
     check_program(program, source)
     return program, source
+
+
+# ----------------------------------------------------------------------
+# Program cache
+# ----------------------------------------------------------------------
+_CACHE_CAPACITY = 128
+_cache: OrderedDict[tuple, tuple[Program, SourceFile]] = OrderedDict()
+_cache_lock = threading.Lock()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def cached_program(text: str, name: str = "<string>",
+                   entry: str = "main",
+                   cache: bool = True) -> tuple[Program, SourceFile]:
+    """:func:`compile_source` behind the LRU program cache.
+
+    Only successful compilations are cached — a program with a syntax or
+    type error raises every time, with a fresh diagnostic.  Any change to
+    the source text changes its hash and misses the cache, so there is no
+    explicit invalidation to get wrong.
+    """
+    global _cache_hits, _cache_misses
+    if not cache:
+        return compile_source(text, name)
+    key = (hashlib.sha256(text.encode("utf-8")).hexdigest(), name, entry)
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            _cache_hits += 1
+            return cached
+        _cache_misses += 1
+    compiled = compile_source(text, name)
+    with _cache_lock:
+        _cache[key] = compiled
+        _cache.move_to_end(key)
+        while len(_cache) > _CACHE_CAPACITY:
+            _cache.popitem(last=False)
+    return compiled
+
+
+def clear_program_cache() -> None:
+    """Drop every cached program and reset the hit/miss counters."""
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def program_cache_info() -> dict:
+    """Cache statistics (mirrors ``functools.lru_cache``'s info fields)."""
+    with _cache_lock:
+        return {
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "currsize": len(_cache),
+            "maxsize": _CACHE_CAPACITY,
+        }
 
 
 def check_source(text: str, name: str = "<string>") -> list[TetraError]:
@@ -77,15 +160,18 @@ def run_source(text: str, inputs: list[str] | None = None,
                backend: str | Backend = "thread",
                config: RuntimeConfig | None = None,
                name: str = "<string>", entry: str = "main",
-               detect_races: bool = False) -> RunResult:
+               detect_races: bool = False,
+               cache: bool = True, fast: bool = True) -> RunResult:
     """Compile and run Tetra source, capturing console output.
 
     ``backend`` is a name from :data:`BACKEND_FACTORIES` or a ready-made
     backend instance (e.g. a ``SimBackend(cores=8)`` whose trace you want).
     ``detect_races=True`` turns on the dynamic race detector; observed
-    races land in :attr:`RunResult.races`.
+    races land in :attr:`RunResult.races`.  ``cache=False`` bypasses the
+    program cache; ``fast=False`` forces the tree-walking interpreter
+    instead of the precompiled closure fast path.
     """
-    program, source = compile_source(text, name)
+    program, source = cached_program(text, name, entry, cache=cache)
     if detect_races:
         config = replace(config, detect_races=True) if config is not None \
             else RuntimeConfig(detect_races=True)
@@ -102,10 +188,10 @@ def run_source(text: str, inputs: list[str] | None = None,
         backend_obj = backend
     io = CapturingIO(inputs or [])
     interp = Interpreter(program, source, backend=backend_obj, io=io,
-                         config=config)
+                         config=config, fast=fast)
     interp.run(entry)
     return RunResult(program, backend_obj, io, program.symbols,  # type: ignore[attr-defined]
-                     races=interp.races)
+                     races=interp.races, name=name)
 
 
 def _construct(factory, config: RuntimeConfig):
@@ -116,8 +202,9 @@ def _construct(factory, config: RuntimeConfig):
 def run_file(path: str, inputs: list[str] | None = None,
              backend: str | Backend = "thread",
              config: RuntimeConfig | None = None,
-             detect_races: bool = False) -> RunResult:
+             detect_races: bool = False,
+             cache: bool = True, fast: bool = True) -> RunResult:
     """Compile and run a ``.ttr`` file."""
     source = SourceFile.from_path(path)
     return run_source(source.text, inputs, backend, config, name=path,
-                      detect_races=detect_races)
+                      detect_races=detect_races, cache=cache, fast=fast)

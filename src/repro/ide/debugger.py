@@ -34,9 +34,11 @@ from ..runtime.coop import (
     CoopBackend,
     ManualPolicy,
 )
-from ..runtime.values import Value, display
+from ..runtime.values import Value, display, type_of_value
 from ..stdlib.io import CapturingIO
-from ..api import compile_source
+from ..api import cached_program
+from ..types import VOID, FunctionSignature, LocalScope, VariableInfo
+from ..types.check import TypeChecker
 
 
 @dataclass
@@ -85,7 +87,7 @@ class DebugSession:
     def __init__(self, text: str, inputs: list[str] | None = None,
                  name: str = "<debug>", num_workers: int = 4,
                  detect_races: bool = False):
-        self.program, self.source = compile_source(text, name)
+        self.program, self.source = cached_program(text, name)
         self.io = CapturingIO(inputs or [])
         config = RuntimeConfig(num_workers=num_workers,
                                detect_races=detect_races)
@@ -211,9 +213,11 @@ class DebugSession:
     def evaluate(self, thread_id: int, expression: str) -> str:
         """Evaluate an expression in a paused thread's current scope.
 
-        The expression is parsed with the real parser and evaluated by the
-        real interpreter against the thread's environment — so it sees
-        exactly what the thread sees, private induction variables included.
+        The expression is parsed with the real parser, type-checked against
+        a scope synthesized from the thread's live variables, and evaluated
+        by the real interpreter against the thread's environment — so it
+        sees exactly what the thread sees, private induction variables
+        included, and type errors read like the compiler's.
         """
         ctx = self.backend.contexts.get(self._real_id(thread_id))
         if not isinstance(ctx, ThreadContext) or ctx.env is None:
@@ -221,6 +225,19 @@ class DebugSession:
                 f"thread {thread_id} has no scope to evaluate in"
             )
         expr = parse_expression(expression)
+        # The interpreter requires checker annotations (element types of
+        # literals, coercion targets); console input never went through
+        # check_program, so check it here against the runtime scope.
+        scope = LocalScope()
+        for var_name, value in ctx.env.snapshot().items():
+            scope.define(VariableInfo(var_name, type_of_value(value)))
+        checker = TypeChecker(self.program, self.source)
+        checker.symbols = self.program.symbols  # type: ignore[attr-defined]
+        checker._scope = scope
+        checker._signature = FunctionSignature("<debug>", (), (), VOID)
+        checker.check_expr(expr)
+        if checker.errors:
+            raise checker.errors[0]
         value = self.interpreter.eval_expr(expr, ctx)
         return display(value)
 

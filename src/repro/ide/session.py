@@ -86,7 +86,7 @@ class IDESession:
         kept in :attr:`console`.  With ``detect_races`` the dynamic race
         detector watches the run; findings land in :attr:`races` and
         :meth:`race_panel` renders them console-style."""
-        from ..api import BACKEND_FACTORIES, compile_source
+        from ..api import BACKEND_FACTORIES, cached_program
         from ..interp import Interpreter
         from ..runtime import RuntimeConfig
 
@@ -95,7 +95,9 @@ class IDESession:
         self._last_source = None
         interp = None
         try:
-            program, source = compile_source(self.text, self.path or "<editor>")
+            # Re-running an unchanged buffer (the common edit-run loop) hits
+            # the program cache and skips the lex/parse/check pipeline.
+            program, source = cached_program(self.text, self.path or "<editor>")
             self._last_source = source
             config = RuntimeConfig(detect_races=True) if detect_races else None
             if config is None:

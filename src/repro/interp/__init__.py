@@ -1,5 +1,7 @@
-"""Tree-walking interpreter for Tetra programs."""
+"""Tree-walking interpreter for Tetra programs, plus its closure-compiled
+fast path (:mod:`repro.interp.compile`)."""
 
+from .compile import CompiledProgram, compile_program
 from .context import CallRecord, ThreadContext
 from .control import BreakSignal, ContinueSignal, ControlSignal, ReturnSignal
 from .interpreter import Interpreter
@@ -7,5 +9,5 @@ from .interpreter import Interpreter
 __all__ = [
     "CallRecord", "ThreadContext",
     "BreakSignal", "ContinueSignal", "ControlSignal", "ReturnSignal",
-    "Interpreter",
+    "CompiledProgram", "compile_program", "Interpreter",
 ]

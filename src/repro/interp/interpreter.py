@@ -69,7 +69,14 @@ from ..tetra_ast import (
     Unpack,
     While,
 )
-from ..types import REAL, VOID, ArrayType, DictType, RealType, check_program
+from ..types import (
+    VOID,
+    ArrayType,
+    DictType,
+    TupleType,
+    check_program,
+    from_type_expr,
+)
 from ..runtime import (
     Backend,
     Environment,
@@ -105,7 +112,8 @@ class Interpreter:
     def __init__(self, program: Program, source: SourceFile | None = None,
                  backend: Backend | None = None, io: IOChannel | None = None,
                  config: RuntimeConfig | None = None,
-                 cost_model: CostModel = DEFAULT_COST_MODEL):
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 fast: bool = True):
         self.program = program
         self.source = source
         self.backend = backend or ThreadBackend(config)
@@ -119,12 +127,10 @@ class Interpreter:
             check_program(program, source)
         self.symbols = program.symbols  # type: ignore[attr-defined]
         self._functions = {fn.name: fn for fn in program.functions}
-        self._classes = {
-            cls.name: cls for cls in getattr(program, "classes", [])
-        }
+        self._classes = {cls.name: cls for cls in program.classes}
         self._methods = {
             (cls.name, m.name): m
-            for cls in getattr(program, "classes", [])
+            for cls in program.classes
             for m in cls.methods
         }
         self._steps = itertools.count(1)
@@ -173,6 +179,20 @@ class Interpreter:
             BinOp: self._eval_binop,
             Unary: self._eval_unary,
         }
+        # The fast path: each function body precompiled to a closure tree
+        # (see repro.interp.compile).  Race detection keeps the walker — the
+        # detector's read/write instrumentation lives in the dispatch
+        # methods above, and the walker's per-node cost is noise next to
+        # vector-clock bookkeeping.
+        self._compiled = None
+        #: True when calls run through precompiled closures; tests assert
+        #: this to pin down the detect_races fallback choice.
+        self.fast = False
+        if fast and self._race is None:
+            from .compile import compile_program
+
+            self._compiled = compile_program(self)
+            self.fast = True
 
     # ------------------------------------------------------------------
     # Entry points
@@ -209,6 +229,11 @@ class Interpreter:
     def call_function(self, name: str, args: list[Value], ctx: ThreadContext,
                       span: Span) -> Value | None:
         """Call a user-defined function with already-evaluated arguments."""
+        if self._compiled is not None:
+            invoke = self._compiled.functions.get(name)
+            if invoke is None:
+                raise TetraInternalError(f"call to unknown function '{name}'")
+            return invoke(args, ctx, span)
         fn = self._functions.get(name)
         if fn is None:
             raise TetraInternalError(f"call to unknown function '{name}'")
@@ -217,6 +242,13 @@ class Interpreter:
     def call_method(self, obj: TetraObject, method: str, args: list[Value],
                     ctx: ThreadContext, span: Span) -> Value | None:
         """Invoke a class method with ``obj`` bound as the implicit self."""
+        if self._compiled is not None:
+            invoke = self._compiled.methods.get((obj.class_name, method))
+            if invoke is None:
+                raise TetraInternalError(
+                    f"call to unknown method '{obj.class_name}.{method}'"
+                )
+            return invoke([obj, *args], ctx, span)
         fn = self._methods.get((obj.class_name, method))
         if fn is None:
             raise TetraInternalError(
@@ -337,8 +369,14 @@ class Interpreter:
                 self.backend.charge(ctx, self.cost_model.name_store)
             if self._race is not None:
                 self._race_name_access(ctx, target.id, target.span, True)
-            target_ty = getattr(target, "ty", None)
-            ctx.env.set(target.id, coerce_to(value, target_ty) if target_ty else value)
+            target_ty = target.ty
+            if target_ty is None:
+                raise TetraInternalError(
+                    f"assignment target '{target.id}' was not annotated by "
+                    "the checker — was this program type-checked?",
+                    target.span,
+                )
+            ctx.env.set(target.id, coerce_to(value, target_ty))
             return
         if isinstance(target, Attribute):
             base = self.eval_expr(target.base, ctx)
@@ -388,12 +426,6 @@ class Interpreter:
 
     def _exec_declare(self, stmt: Declare, ctx: ThreadContext) -> None:
         value = self.eval_expr(stmt.value, ctx)
-        declared = getattr(stmt.value, "ty", None)
-        # The declared type lives on the value expression for empty
-        # literals; for everything else the checker verified assignability
-        # and coercion only needs the variable's own type.
-        from ..types import from_type_expr
-
         var_type = from_type_expr(stmt.declared_type)
         ctx.env.set(stmt.name, coerce_to(value, var_type))
 
@@ -598,19 +630,25 @@ class Interpreter:
             self.backend.charge(
                 ctx, self.cost_model.array_element * max(1, len(values))
             )
-        ty = getattr(expr, "ty", None)
-        element_ty = ty.element if isinstance(ty, ArrayType) else None
-        if element_ty is None:
-            from ..runtime.values import type_of_value
-
-            element_ty = type_of_value(values[0]) if values else REAL
-        return make_array(values, element_ty)
+        ty = expr.ty
+        if not isinstance(ty, ArrayType):
+            raise TetraInternalError(
+                "array literal was not typed by the checker — was this "
+                "program type-checked?",
+                expr.span,
+            )
+        return make_array(values, ty.element)
 
     def _eval_tuple_literal(self, expr: TupleLiteral, ctx: ThreadContext) -> Value:
         values = [self.eval_expr(e, ctx) for e in expr.elements]
-        ty = getattr(expr, "ty", None)
-        if ty is not None:
-            values = [coerce_to(v, t) for v, t in zip(values, ty.elements)]
+        ty = expr.ty
+        if not isinstance(ty, TupleType):
+            raise TetraInternalError(
+                "tuple literal was not typed by the checker — was this "
+                "program type-checked?",
+                expr.span,
+            )
+        values = [coerce_to(v, t) for v, t in zip(values, ty.elements)]
         if self._acc:
             self.backend.charge(
                 ctx, self.cost_model.array_element * len(values)
@@ -618,9 +656,13 @@ class Interpreter:
         return TetraTuple(values)
 
     def _eval_dict_literal(self, expr: DictLiteral, ctx: ThreadContext) -> Value:
-        ty = getattr(expr, "ty", None)
+        ty = expr.ty
         if not isinstance(ty, DictType):
-            raise TetraInternalError("dict literal was not typed by the checker")
+            raise TetraInternalError(
+                "dict literal was not typed by the checker — was this "
+                "program type-checked?",
+                expr.span,
+            )
         items = {}
         for key_expr, value_expr in expr.entries:
             key = self.eval_expr(key_expr, ctx)

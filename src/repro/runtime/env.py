@@ -65,8 +65,14 @@ class Environment:
         return Environment(self.frame, merged)
 
     def get(self, name: str) -> Value:
-        if name in self.private:
-            return self.private[name]
+        # Most environments have an empty private table (only parallel-for
+        # workers carry one); test truthiness before probing so the common
+        # case costs a single dict lookup.  The closure compiler
+        # (repro.interp.compile) relies on the same invariant to bypass
+        # this method entirely for names it proves can never be private.
+        private = self.private
+        if private and name in private:
+            return private[name]
         try:
             return self.frame.vars[name]
         except KeyError:
@@ -79,8 +85,9 @@ class Environment:
             ) from None
 
     def set(self, name: str, value: Value) -> None:
-        if name in self.private:
-            self.private[name] = value
+        private = self.private
+        if private and name in private:
+            private[name] = value
         else:
             self.frame.vars[name] = value
 

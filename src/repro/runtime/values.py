@@ -234,6 +234,8 @@ def type_of_value(value: Value) -> Type:
         return DictType(value.key_type, value.value_type)
     if isinstance(value, TetraTuple):
         return TupleType(tuple(type_of_value(v) for v in value.items))
+    if isinstance(value, TetraObject):
+        return ClassType(value.class_name)
     raise TypeError(f"not a Tetra value: {value!r}")
 
 

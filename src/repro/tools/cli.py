@@ -55,10 +55,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     interp = None
     code = 0
     try:
-        program = parse_source(source)
-        from ..types import check_program
+        from ..api import cached_program
 
-        check_program(program, source)
+        program, source = cached_program(source.text, args.file,
+                                         cache=not args.no_cache)
         backend = BACKEND_FACTORIES[args.backend](config=config)
         interp = Interpreter(program, source, backend=backend)
         interp.run()
@@ -264,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--detect-races", action="store_true",
                      help="watch shared variables for data races and print "
                           "a report after the run (exit code 3 if any)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the compiled-program cache (recompile "
+                          "from source even if this exact text ran before)")
     run.set_defaults(func=cmd_run)
 
     check = sub.add_parser("check", help="type-check without running")

@@ -155,7 +155,7 @@ class TypeChecker:
         self._collect_signatures()
         for fn in self.program.functions:
             self._check_function(fn)
-        for cls in getattr(self.program, "classes", []):
+        for cls in self.program.classes:
             self._check_class_methods(cls)
         self._check_main()
         self.program.symbols = self.symbols  # type: ignore[attr-defined]
@@ -165,7 +165,7 @@ class TypeChecker:
     # Classes
     # ------------------------------------------------------------------
     def _collect_classes(self) -> None:
-        for cls in getattr(self.program, "classes", []):
+        for cls in self.program.classes:
             if cls.name in self.symbols.classes:
                 self._err(f"class '{cls.name}' is defined more than once", cls)
                 continue
@@ -208,7 +208,7 @@ class TypeChecker:
             self.symbols.classes[cls.name] = info
         # Field and method annotation types can reference other classes, so
         # validate only after every class is known.
-        for cls in getattr(self.program, "classes", []):
+        for cls in self.program.classes:
             info = self.symbols.classes.get(cls.name)
             if info is None:
                 continue
@@ -419,7 +419,7 @@ class TypeChecker:
         else:
             assert isinstance(stmt.target, Index)
             target_ty = self.check_expr(stmt.target)
-            base_ty = getattr(stmt.target.base, "ty", None)
+            base_ty = stmt.target.base.ty
             if isinstance(base_ty, TupleType):
                 self._err(
                     "tuples are immutable; build a new tuple instead of "
@@ -834,7 +834,55 @@ class TypeChecker:
                     exc.attach_source(self.source)
                 self.errors.append(exc)
                 return ERROR
-        return self._name_err(f"there is no function named '{expr.func}'", expr)
+        return self._name_err(
+            f"there is no function named '{expr.func}'"
+            + self._unknown_function_hint(expr.func),
+            expr,
+        )
+
+    #: Python builtins beginners reach for, with the Tetra idiom that
+    #: replaces each one.  ``range`` is the headline case: Tetra iterates
+    #: inclusive ranges written as literals, not via a function call.
+    _PYTHON_IDIOM_HINTS = {
+        "range": "Tetra iterates over an inclusive range literal: "
+                 "'for i in [0 ... 9]:'",
+        "xrange": "Tetra iterates over an inclusive range literal: "
+                  "'for i in [0 ... 9]:'",
+        "input": "use read_string(), read_int(), read_real(), or "
+                 "read_bool() to read console input",
+        "append": "Tetra arrays are fixed-length; build one with "
+                  "array(length, value) or concat(a, b)",
+        "println": "Tetra's print() already ends the line",
+        "printf": "print() takes several values: print(\"x = \", x)",
+        "strlen": "use len(s)",
+        "type": "use the ':type expr' command in the REPL to see a "
+                "static type",
+        "list": "arrays are written as literals like [1, 2, 3] or built "
+                "with array(length, value)",
+        "dict": "dicts are written as literals like {\"a\": 1} or "
+                "declared: 'scores {string: int} = {}'",
+    }
+
+    def _unknown_function_hint(self, name: str) -> str:
+        """A did-you-mean tail for an unknown function name: close matches
+        among user functions/classes/builtins, plus the Tetra idiom when
+        the name is a well-known Python builtin."""
+        import difflib
+
+        known = sorted(
+            set(self.symbols.functions)
+            | set(self.symbols.classes)
+            | set(self.builtins)
+        )
+        matches = difflib.get_close_matches(name, known, n=3, cutoff=0.6)
+        hint = ""
+        if matches:
+            quoted = ", ".join(f"'{m}'" for m in matches)
+            hint += f"; did you mean {quoted}?"
+        idiom = self._PYTHON_IDIOM_HINTS.get(name)
+        if idiom:
+            hint += f" ({idiom})"
+        return hint
 
     def _check_user_call(self, expr: Call, sig: FunctionSignature,
                          arg_types: list[Type]) -> Type:

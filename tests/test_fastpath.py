@@ -1,0 +1,329 @@
+"""Fast-path and program-cache tests.
+
+Covers the AST→closure precompilation layer (``repro.interp.compile``):
+semantic parity with the tree walker on every backend, the race-detector
+fallback, span-exact diagnostics, the strict annotation contract — and the
+:mod:`repro.api` program cache: hit/miss accounting, the ``cache=False``
+escape hatch, and ``tetra run --no-cache``.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.api import (
+    cached_program,
+    clear_program_cache,
+    compile_source,
+    program_cache_info,
+    run_source,
+)
+from repro.errors import TetraError, TetraInternalError, TetraLimitError
+from repro.interp import Interpreter
+from repro.runtime import RuntimeConfig, SequentialBackend
+from repro.stdlib.io import CapturingIO
+from repro.tetra_ast import ArrayLiteral, Assign, Name, walk
+from repro.tools.cli import main as cli_main
+
+HELLO = 'def main():\n    print("hello")\n'
+
+#: Exercises recursion, loops, arrays, dicts, tuples, strings, classes,
+#: parallel for + locks — one program touching most compiled node kinds.
+KITCHEN_SINK = textwrap.dedent("""
+    class Point:
+        x int
+        y int
+
+        def total() int:
+            return self.x + self.y
+
+    def fib(n int) int:
+        if n < 2:
+            return n
+        return fib(n - 1) + fib(n - 2)
+
+    def main():
+        print(fib(12))
+        s = 0
+        for i in [1 ... 20]:
+            s += i * i
+        print(s)
+        a = [5, 2, 9]
+        a[1] = a[0] + a[2]
+        print(a, len(a))
+        d = {"one": 1, "two": 2}
+        print(d["two"], d)
+        t = (3, 4.5)
+        u, v = t
+        print(u + v)
+        p = Point(2, 3)
+        print(p.total(), p.x)
+        word = "tetra"
+        print(word[1], word + "!")
+        total = 0
+        parallel for i in [1 ... 16]:
+            lock total:
+                total += i
+        print(total)
+""")
+
+RACY = textwrap.dedent("""
+    def main():
+        largest = 0
+        parallel for num in [3, 90, 14, 50]:
+            if num > largest:
+                largest = num
+        print(largest)
+""")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_program_cache()
+    yield
+    clear_program_cache()
+
+
+# ----------------------------------------------------------------------
+# Program cache
+# ----------------------------------------------------------------------
+class TestProgramCache:
+    def test_repeat_compile_hits(self):
+        first, _ = cached_program(HELLO)
+        second, _ = cached_program(HELLO)
+        assert first is second  # the checked AST itself is reused
+        info = program_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["currsize"] == 1
+
+    def test_edit_misses(self):
+        cached_program(HELLO)
+        edited = HELLO.replace("hello", "goodbye")
+        cached_program(edited)
+        info = program_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 2
+        assert info["currsize"] == 2
+
+    def test_name_and_entry_are_part_of_the_key(self):
+        cached_program(HELLO, name="a.ttr")
+        cached_program(HELLO, name="b.ttr")
+        cached_program(HELLO, name="a.ttr", entry="other")
+        assert program_cache_info()["misses"] == 3
+
+    def test_cache_false_bypasses(self):
+        first, _ = cached_program(HELLO, cache=False)
+        second, _ = cached_program(HELLO, cache=False)
+        assert first is not second
+        info = program_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0
+        assert info["currsize"] == 0
+
+    def test_failed_compiles_are_not_cached(self):
+        bad = "def main():\n    x = nope()\n"
+        for _ in range(2):
+            with pytest.raises(TetraError):
+                cached_program(bad)
+        info = program_cache_info()
+        assert info["misses"] == 2 and info["currsize"] == 0
+
+    def test_run_source_uses_the_cache(self):
+        assert run_source(HELLO).output == "hello\n"
+        assert run_source(HELLO).output == "hello\n"
+        info = program_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_run_source_cache_false(self):
+        assert run_source(HELLO, cache=False).output == "hello\n"
+        assert program_cache_info()["currsize"] == 0
+
+    def test_cached_runs_are_isolated(self):
+        """Sharing the AST across runs must not leak run state."""
+        counter = "def main():\n    n = 0\n    n += 1\n    print(n)\n"
+        assert run_source(counter).output == "1\n"
+        assert run_source(counter).output == "1\n"
+        assert run_source(counter, backend="sequential").output == "1\n"
+
+
+class TestCLINoCache:
+    def test_no_cache_flag(self, tmp_path, capsys):
+        path = tmp_path / "hello.ttr"
+        path.write_text(HELLO)
+        assert cli_main(["run", str(path), "--no-cache"]) == 0
+        assert capsys.readouterr().out == "hello\n"
+        assert program_cache_info()["currsize"] == 0
+
+    def test_default_run_caches(self, tmp_path, capsys):
+        path = tmp_path / "hello.ttr"
+        path.write_text(HELLO)
+        assert cli_main(["run", str(path)]) == 0
+        assert cli_main(["run", str(path)]) == 0
+        capsys.readouterr()
+        info = program_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+
+# ----------------------------------------------------------------------
+# Fast path semantics
+# ----------------------------------------------------------------------
+class TestFastPathParity:
+    def test_identical_output_on_every_backend(self, any_backend):
+        fast = run_source(KITCHEN_SINK, backend=any_backend).output
+        walker = run_source(KITCHEN_SINK, backend=any_backend,
+                            fast=False, cache=False).output
+        assert fast == walker
+
+    def test_interpreter_compiles_by_default(self):
+        program, source = compile_source(HELLO)
+        interp = Interpreter(program, source, backend=SequentialBackend(),
+                             io=CapturingIO())
+        assert interp.fast is True
+
+    def test_fast_false_uses_the_walker(self):
+        program, source = compile_source(HELLO)
+        interp = Interpreter(program, source, backend=SequentialBackend(),
+                             io=CapturingIO(), fast=False)
+        assert interp.fast is False
+
+    def test_error_spans_survive_precompilation(self):
+        crashing = textwrap.dedent("""
+            def main():
+                a = [1, 2, 3]
+                print(a[7])
+        """)
+        with pytest.raises(TetraError) as fast_exc:
+            run_source(crashing, backend="sequential")
+        with pytest.raises(TetraError) as walker_exc:
+            run_source(crashing, backend="sequential",
+                       fast=False, cache=False)
+        assert fast_exc.value.span == walker_exc.value.span
+        assert str(fast_exc.value) == str(walker_exc.value)
+
+    def test_recursion_limit_message_is_the_walkers(self):
+        runaway = "def f() int:\n    return f()\n\ndef main():\n    f()\n"
+        with pytest.raises(TetraLimitError, match="recursion depth exceeded"):
+            run_source(runaway, backend="sequential")
+
+    def test_step_limit_enforced_through_fast_path(self):
+        spin = "def main():\n    while true:\n        pass\n"
+        config = RuntimeConfig(step_limit=500)
+        with pytest.raises(TetraLimitError, match="budget of 500 statements"):
+            run_source(spin, backend="sequential", config=config)
+
+
+class TestRaceDetectorFallback:
+    def test_detect_races_disables_the_fast_path(self):
+        program, source = compile_source(RACY)
+        interp = Interpreter(program, source, backend=SequentialBackend(),
+                             io=CapturingIO(),
+                             config=RuntimeConfig(detect_races=True))
+        assert interp.fast is False
+
+    def test_same_races_reported(self):
+        config = RuntimeConfig(num_workers=4, detect_races=True)
+        through_default = run_source(RACY, backend="thread", config=config)
+        through_walker = run_source(RACY, backend="thread", config=config,
+                                    fast=False, cache=False)
+        assert through_default.races and through_walker.races
+        assert (through_default.races[0].variable
+                == through_walker.races[0].variable == "largest")
+
+    def test_lock_protected_program_stays_clean(self):
+        clean = textwrap.dedent("""
+            def main():
+                total = 0
+                parallel for i in [1 ... 8]:
+                    lock total:
+                        total += i
+                print(total)
+        """)
+        config = RuntimeConfig(num_workers=4, detect_races=True)
+        result = run_source(clean, backend="thread", config=config)
+        assert result.races == [] and result.output == "36\n"
+
+
+class TestRunResultRepr:
+    def test_repr_is_one_line(self):
+        result = run_source(HELLO, backend="sequential")
+        text = repr(result)
+        assert "\n" not in text
+        assert text == ("<RunResult '<string>' backend=sequential "
+                        "output=6 chars races=0>")
+
+    def test_repr_includes_the_file_name(self):
+        result = run_source(HELLO, name="hello.ttr")
+        assert "'hello.ttr'" in repr(result)
+
+
+# ----------------------------------------------------------------------
+# Strict annotation contract (satellite: no silent getattr fallbacks)
+# ----------------------------------------------------------------------
+class TestStrictAnnotations:
+    def _program_with_stripped(self, node_type):
+        text = "def main():\n    xs = [1, 2]\n    print(xs)\n"
+        program, source = compile_source(text)
+        for node in walk(program.functions[0].body):
+            if isinstance(node, node_type):
+                node.ty = None
+        return program, source
+
+    def test_compile_rejects_untyped_literal(self):
+        program, source = self._program_with_stripped(ArrayLiteral)
+        with pytest.raises(TetraInternalError,
+                           match="was this program type-checked"):
+            Interpreter(program, source, backend=SequentialBackend(),
+                        io=CapturingIO())
+
+    def test_walker_rejects_untyped_literal(self):
+        program, source = self._program_with_stripped(ArrayLiteral)
+        interp = Interpreter(program, source, backend=SequentialBackend(),
+                             io=CapturingIO(), fast=False)
+        with pytest.raises(TetraInternalError):
+            interp.run()
+
+    def test_walker_rejects_untyped_assignment_target(self):
+        text = "def main():\n    x = 1\n    print(x)\n"
+        program, source = compile_source(text)
+        for node in walk(program.functions[0].body):
+            if isinstance(node, Assign) and isinstance(node.target, Name):
+                node.target.ty = None
+        interp = Interpreter(program, source, backend=SequentialBackend(),
+                             io=CapturingIO(), fast=False)
+        with pytest.raises(TetraInternalError,
+                           match="not annotated by the checker"):
+            interp.run()
+
+
+# ----------------------------------------------------------------------
+# Did-you-mean diagnostics (satellite: unknown-function hints)
+# ----------------------------------------------------------------------
+class TestUnknownFunctionHints:
+    def _message(self, call):
+        from repro.api import check_source
+
+        errors = check_source(f"def main():\n    {call}\n")
+        assert errors, call
+        return str(errors[0])
+
+    def test_typo_suggests_builtin(self):
+        message = self._message("prnt(1)")
+        assert "there is no function named 'prnt'" in message
+        assert "did you mean 'print'?" in message
+
+    def test_typo_suggests_user_function(self):
+        from repro.api import check_source
+
+        errors = check_source(
+            "def helper():\n    pass\n\ndef main():\n    helpr()\n"
+        )
+        assert errors and "did you mean 'helper'" in str(errors[0])
+
+    def test_range_gets_the_iteration_idiom(self):
+        message = self._message("range(10)")
+        assert "inclusive range literal" in message
+        assert "[0 ... 9]" in message
+
+    def test_plain_unknown_keeps_the_seed_wording(self):
+        # tests/test_checker.py pins the "no function named" prefix; the
+        # hint must extend the message, never replace it.
+        message = self._message("zzqqy(1)")
+        assert "there is no function named 'zzqqy'" in message

@@ -128,6 +128,16 @@ class TestDifferentialFuzz:
         assert interpreted == compiled, text
 
     @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_fast_path_matches_tree_walker(self, text):
+        """The closure fast path (the default pipeline, warm program
+        cache) is byte-identical to the seed tree walker."""
+        fast = run_source(text, backend="sequential").output
+        walker = run_source(text, backend="sequential",
+                            fast=False, cache=False).output
+        assert fast == walker, text
+
+    @given(programs())
     @settings(max_examples=40, deadline=None)
     def test_backends_agree_on_deterministic_programs(self, text):
         outputs = {
