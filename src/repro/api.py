@@ -61,6 +61,13 @@ class RunResult:
     races: list = field(default_factory=list)
     #: The program's display name (file path or the default "<string>").
     name: str = "<string>"
+    #: Aggregated :class:`~repro.obs.RunMetrics` (None unless the run was
+    #: made with ``metrics=True``).
+    metrics: object = None
+    #: The raw :class:`~repro.obs.Observer` when tracing/metrics/profiling
+    #: was enabled; feed it to :func:`repro.obs.chrome_trace` or
+    #: :func:`repro.obs.render_profile`.
+    obs: object = None
 
     @property
     def output(self) -> str:
@@ -68,6 +75,20 @@ class RunResult:
 
     def output_lines(self) -> list[str]:
         return self.io.lines()
+
+    def chrome_trace(self) -> dict:
+        """The run as a Chrome trace-event document (``trace=True`` runs).
+
+        Dump it with ``json.dump`` and load the file in Perfetto or
+        ``chrome://tracing``.
+        """
+        if self.obs is None:
+            raise ValueError(
+                "this run was not traced — pass trace=True (or metrics=True) "
+                "to run_source/run_file"
+            )
+        from .obs import chrome_trace
+        return chrome_trace(self.obs, self.backend)
 
     def __repr__(self) -> str:
         # The default dataclass repr would dump the whole AST, backend, and
@@ -126,6 +147,41 @@ def cached_program(text: str, name: str = "<string>",
     return compiled
 
 
+def cached_parse(text: str, name: str = "<string>",
+                 tag: object = None,
+                 cache: bool = True) -> tuple[Program, SourceFile]:
+    """Parse (without type-checking) behind the same LRU cache.
+
+    This is the entry point for incremental front ends — the REPL and the
+    IDE session — that parse fragments repeatedly and run their own
+    checking passes.  ``tag`` scopes the cache entry: the checker annotates
+    AST nodes in place, so a cached tree is only safe to reuse by a
+    consumer that re-checks it (or checked it) itself — callers pass a
+    per-session token to avoid sharing annotated trees across sessions.
+    """
+    global _cache_hits, _cache_misses
+    if not cache:
+        source = SourceFile.from_string(text, name)
+        return parse_source(source), source
+    key = ("parse", hashlib.sha256(text.encode("utf-8")).hexdigest(),
+           name, tag)
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            _cache_hits += 1
+            return cached
+        _cache_misses += 1
+    source = SourceFile.from_string(text, name)
+    program = parse_source(source)
+    with _cache_lock:
+        _cache[key] = (program, source)
+        _cache.move_to_end(key)
+        while len(_cache) > _CACHE_CAPACITY:
+            _cache.popitem(last=False)
+    return program, source
+
+
 def clear_program_cache() -> None:
     """Drop every cached program and reset the hit/miss counters."""
     global _cache_hits, _cache_misses
@@ -161,7 +217,9 @@ def run_source(text: str, inputs: list[str] | None = None,
                config: RuntimeConfig | None = None,
                name: str = "<string>", entry: str = "main",
                detect_races: bool = False,
-               cache: bool = True, fast: bool = True) -> RunResult:
+               cache: bool = True, fast: bool = True,
+               trace: bool = False, metrics: bool = False,
+               profile: bool = False) -> RunResult:
     """Compile and run Tetra source, capturing console output.
 
     ``backend`` is a name from :data:`BACKEND_FACTORIES` or a ready-made
@@ -169,12 +227,25 @@ def run_source(text: str, inputs: list[str] | None = None,
     ``detect_races=True`` turns on the dynamic race detector; observed
     races land in :attr:`RunResult.races`.  ``cache=False`` bypasses the
     program cache; ``fast=False`` forces the tree-walking interpreter
-    instead of the precompiled closure fast path.
+    instead of the precompiled closure fast path.  ``trace``/``metrics``/
+    ``profile`` enable the observability layer: the run then carries an
+    :attr:`RunResult.obs` observer, ``metrics`` additionally aggregates it
+    into :attr:`RunResult.metrics`, and :meth:`RunResult.chrome_trace`
+    exports the timeline.
     """
     program, source = cached_program(text, name, entry, cache=cache)
+    overrides = {}
     if detect_races:
-        config = replace(config, detect_races=True) if config is not None \
-            else RuntimeConfig(detect_races=True)
+        overrides["detect_races"] = True
+    if trace:
+        overrides["trace"] = True
+    if metrics:
+        overrides["metrics"] = True
+    if profile:
+        overrides["profile"] = True
+    if overrides:
+        config = replace(config, **overrides) if config is not None \
+            else RuntimeConfig(**overrides)
     if isinstance(backend, str):
         try:
             factory = BACKEND_FACTORIES[backend]
@@ -190,8 +261,15 @@ def run_source(text: str, inputs: list[str] | None = None,
     interp = Interpreter(program, source, backend=backend_obj, io=io,
                          config=config, fast=fast)
     interp.run(entry)
-    return RunResult(program, backend_obj, io, program.symbols,  # type: ignore[attr-defined]
-                     races=interp.races, name=name)
+    result = RunResult(program, backend_obj, io, program.symbols,  # type: ignore[attr-defined]
+                       races=interp.races, name=name)
+    obs = interp._obs
+    if obs is not None:
+        result.obs = obs
+        if obs.metrics:
+            from .obs import collect_metrics
+            result.metrics = collect_metrics(obs, backend_obj)
+    return result
 
 
 def _construct(factory, config: RuntimeConfig):
@@ -203,8 +281,11 @@ def run_file(path: str, inputs: list[str] | None = None,
              backend: str | Backend = "thread",
              config: RuntimeConfig | None = None,
              detect_races: bool = False,
-             cache: bool = True, fast: bool = True) -> RunResult:
+             cache: bool = True, fast: bool = True,
+             trace: bool = False, metrics: bool = False,
+             profile: bool = False) -> RunResult:
     """Compile and run a ``.ttr`` file."""
     source = SourceFile.from_path(path)
     return run_source(source.text, inputs, backend, config, name=path,
-                      detect_races=detect_races, cache=cache, fast=fast)
+                      detect_races=detect_races, cache=cache, fast=fast,
+                      trace=trace, metrics=metrics, profile=profile)

@@ -31,7 +31,8 @@ class Diagnostic:
 class IDESession:
     """One open file in the IDE."""
 
-    def __init__(self, text: str = "", path: str | None = None):
+    def __init__(self, text: str = "", path: str | None = None,
+                 cache: bool = True):
         self.path = path
         self.text = text
         self.console = CapturingIO()
@@ -39,6 +40,10 @@ class IDESession:
         #: Races the last :meth:`run`'s detector observed (the race panel).
         self.races: list = []
         self._last_source = None
+        #: Whether check/run go through the program cache (the edit-run
+        #: loop's common case: an unchanged buffer re-runs without
+        #: re-compiling).  ``cache=False`` recompiles every time.
+        self.cache = cache
 
     # -- editing --------------------------------------------------------
     @staticmethod
@@ -68,6 +73,19 @@ class IDESession:
     # -- checking -----------------------------------------------------------
     def diagnostics(self) -> list[Diagnostic]:
         """All static errors, editor-shaped (empty = the program compiles)."""
+        from ..api import cached_program
+
+        try:
+            # A clean buffer is the common case in the edit-check loop; a
+            # cache hit answers it without re-running the pipeline, and the
+            # warmed entry is the one :meth:`run` will use.
+            cached_program(self.text, self.path or "<editor>",
+                           cache=self.cache)
+            return []
+        except TetraError:
+            # Something is wrong — fall back to the full collecting pass so
+            # the editor shows *every* diagnostic, not just the first.
+            pass
         result = []
         for exc in check_source(self.text, self.path or "<editor>"):
             result.append(Diagnostic(
@@ -97,7 +115,8 @@ class IDESession:
         try:
             # Re-running an unchanged buffer (the common edit-run loop) hits
             # the program cache and skips the lex/parse/check pipeline.
-            program, source = cached_program(self.text, self.path or "<editor>")
+            program, source = cached_program(self.text, self.path or "<editor>",
+                                             cache=self.cache)
             self._last_source = source
             config = RuntimeConfig(detect_races=True) if detect_races else None
             if config is None:

@@ -209,7 +209,13 @@ class _Compiler:
         self.need_checkpoint = (
             type(self.backend).checkpoint is not Backend.checkpoint
         )
-        self.lean = not (self.acc or self.limit or self.need_checkpoint)
+        obs = interp._obs
+        self._obs = obs
+        #: Per-line profile hook; bound once so run_full pays a None test.
+        self._line_hit = (obs.line_hit
+                          if obs is not None and obs.profile else None)
+        self.lean = not (self.acc or self.limit or self.need_checkpoint
+                         or self._line_hit is not None)
         self._invokers: dict[str, Invoker] = {}
         self._method_invokers: dict[tuple[str, str], Invoker] = {}
         #: Names that *can* be thread-private in the function currently
@@ -303,6 +309,19 @@ class _Compiler:
                 ctx.env = saved_env
             return None
 
+        obs = self._obs
+        if obs is not None and obs.trace:
+            clock = obs.clock
+            call_span = obs.call_span
+
+            def invoke_traced(args, ctx, span):
+                t0 = clock()
+                try:
+                    return invoke(args, ctx, span)
+                finally:
+                    call_span(ctx.id, name, t0, clock())
+
+            return invoke_traced
         return invoke
 
     # ------------------------------------------------------------------
@@ -353,6 +372,8 @@ class _Compiler:
         units = self.cost.statement
         limit = self.limit
         steps = interp._steps
+        line_hit = self._line_hit
+        line = span.line
 
         def run_full(ctx):
             if interp._stopped:
@@ -368,6 +389,8 @@ class _Compiler:
                 stack[-1].current_span = span
             if checkpoint is not None:
                 checkpoint(ctx, s)
+            if line_hit is not None:
+                line_hit(ctx.id, line)
             if acc:
                 charge(ctx, units)
             core(ctx)
@@ -695,7 +718,7 @@ class _Compiler:
                     run_child(c)
 
                 jobs.append((child_ctx, thunk))
-            spawn(ctx, jobs, join, span)
+            spawn(ctx, jobs, join, span, kind)
 
         return run
 
@@ -717,6 +740,7 @@ class _Compiler:
         charge = backend.charge
         units = self.cost.loop_iteration
         spawn = interp._spawn_with_race_edges
+        obs = self._obs
 
         def run(ctx):
             items = interp._iterate(iterable_fn(ctx), span)
@@ -741,7 +765,9 @@ class _Compiler:
                         body(c)
 
                 jobs.append((child_ctx, thunk))
-            spawn(ctx, jobs, True, span)
+                if obs is not None:
+                    obs.register_chunk(child_ctx.id, line, len(chunk))
+            spawn(ctx, jobs, True, span, "parallel for")
 
         return run
 
@@ -1123,6 +1149,18 @@ class _Compiler:
         acc = self.acc
         charge = self.backend.charge
         units = self.cost.builtin_overhead
+
+        if e.func == "clock":
+            # clock() reports the backend's clock (virtual under sim/coop);
+            # the builtin table cannot see the backend, so bind it here.
+            now = self.backend.now
+
+            def run_clock(ctx):
+                if acc:
+                    charge(ctx, units)
+                return now()
+
+            return run_clock
 
         def run_builtin(ctx):
             args = [f(ctx) for f in arg_fns]

@@ -143,6 +143,18 @@ class Interpreter:
             from ..analysis.races import RaceDetector
 
             self._race = RaceDetector()
+        # Observability follows the same None-check contract: one attribute
+        # test at each emission site when disabled, an Observer collecting
+        # span events and counters when tracing/metrics/profiling is on.
+        self._obs = None
+        if self.config.trace or self.config.metrics or self.config.profile:
+            from ..obs import Observer
+
+            self._obs = Observer(trace=self.config.trace,
+                                 metrics=self.config.metrics,
+                                 profile=self.config.profile)
+            self._obs.bind(self.backend)
+            self.backend.obs = self._obs
         self._stmt_dispatch = {
             ExprStmt: self._exec_expr_stmt,
             Assign: self._exec_assign,
@@ -217,6 +229,8 @@ class Interpreter:
         if self._race is not None:
             self._race.register(ctx.id, ctx.label)
         self.backend.start_program(ctx)
+        if self._obs is not None:
+            self._obs.program_begin(ctx)
         try:
             self.call_function(fn.name, [], ctx, NO_SPAN)
         except TetraRuntimeError as exc:
@@ -224,7 +238,11 @@ class Interpreter:
                 exc.attach_source(self.source)
             raise
         finally:
-            self.backend.finish_program(ctx)
+            try:
+                self.backend.finish_program(ctx)
+            finally:
+                if self._obs is not None:
+                    self._obs.program_end_mark(ctx)
 
     def call_function(self, name: str, args: list[Value], ctx: ThreadContext,
                       span: Span) -> Value | None:
@@ -277,6 +295,8 @@ class Interpreter:
         ctx.call_stack.append(record)
         if self._acc:
             self.backend.charge(ctx, self.cost_model.call_overhead)
+        obs = self._obs
+        t0 = obs.clock() if obs is not None and obs.trace else None
         try:
             self.exec_block(fn.body, ctx)
         except ReturnSignal as signal:
@@ -284,6 +304,8 @@ class Interpreter:
                 return coerce_to(signal.value, sig.return_type)
             return None
         finally:
+            if t0 is not None:
+                obs.call_span(ctx.id, name, t0, obs.clock())
             ctx.call_stack.pop()
             ctx.env = saved_env
         return None
@@ -346,6 +368,8 @@ class Interpreter:
         if ctx.call_stack:
             ctx.call_stack[-1].current_span = stmt.span
         self.backend.checkpoint(ctx, stmt)
+        if self._obs is not None and self._obs.profile:
+            self._obs.line_hit(ctx.id, stmt.span.line)
         if self._acc:
             self.backend.charge(ctx, self.cost_model.statement)
         self._stmt_dispatch[type(stmt)](stmt, ctx)
@@ -512,23 +536,38 @@ class Interpreter:
                 self.exec_stmt(s, c)
 
             jobs.append((child_ctx, thunk))
-        self._spawn_with_race_edges(ctx, jobs, join, stmt.span)
+        self._spawn_with_race_edges(ctx, jobs, join, stmt.span, kind)
 
     def _spawn_with_race_edges(self, ctx: ThreadContext, jobs, join: bool,
-                               span: Span) -> None:
+                               span: Span, kind: str = "parallel") -> None:
         """Run a spawn group, bracketing it with fork/join happens-before
-        edges when race detection is on."""
+        edges when race detection is on and with observability spans when
+        tracing/metrics is on.  Both the walker and the fast path spawn
+        through here, so instrumentation lives in exactly one place."""
         det = self._race
         if det is not None and jobs:
             det.mark_shared(ctx.env.frame)
             for child_ctx, _thunk in jobs:
                 det.fork(ctx.id, child_ctx.id, child_ctx.label)
+        obs = self._obs
+        group_start = 0.0
+        if obs is not None and jobs:
+            # Register (and take thread-span starts) in the spawner, which
+            # on the coop backend holds the scheduler turn — that keeps the
+            # exported thread ids and timestamps deterministic.
+            for child_ctx, _thunk in jobs:
+                obs.register_thread(child_ctx)
+            jobs = [(c, obs.wrap_job(c, t)) for c, t in jobs]
+            group_start = obs.clock()
         try:
             self.backend.spawn_group(ctx, jobs, join=join, span=span)
         finally:
             if det is not None and join:
                 for child_ctx, _thunk in jobs:
                     det.join(ctx.id, child_ctx.id)
+            if obs is not None and jobs:
+                obs.group_span(ctx.id, kind, group_start, obs.clock(),
+                               [c.id for c, _t in jobs], span.line, join)
 
     def _exec_parallel_for(self, stmt: ParallelFor, ctx: ThreadContext) -> None:
         items = self._iterate(self.eval_expr(stmt.iterable, ctx), stmt.span)
@@ -555,7 +594,10 @@ class Interpreter:
                     self.exec_block(stmt.body, c)
 
             jobs.append((child_ctx, thunk))
-        self._spawn_with_race_edges(ctx, jobs, True, stmt.span)
+            if self._obs is not None:
+                self._obs.register_chunk(child_ctx.id, stmt.span.line,
+                                         len(chunk))
+        self._spawn_with_race_edges(ctx, jobs, True, stmt.span, "parallel for")
 
     def _partition(self, items: list[Value], workers: int) -> list[list[Value]]:
         """Split the iteration space per the configured chunking policy."""
@@ -722,6 +764,11 @@ class Interpreter:
             raise TetraInternalError(f"unknown function '{expr.func}' at runtime")
         if self._acc:
             self.backend.charge(ctx, self.cost_model.builtin_overhead)
+        if expr.func == "clock":
+            # clock() reports the *backend's* clock: host-monotonic seconds
+            # under thread/sequential, virtual units under sim/coop.  The
+            # builtin table cannot see the backend, so dispatch here.
+            return self.backend.now()
         try:
             return builtin.invoke(args, self.io, expr.span)
         except TetraRuntimeError as exc:

@@ -1,0 +1,31 @@
+"""Runtime observability: execution tracing, parallel metrics, profiling.
+
+The paper's pitch is a system for *seeing* parallel execution; this package
+is the runtime half of that promise.  An :class:`Observer` collects span
+events (thread lifetimes, fork/join groups, lock acquire/wait/release,
+function calls, per-line execution counts) from whichever backend runs the
+program; :mod:`repro.obs.metrics` aggregates them into a
+:class:`~repro.obs.metrics.RunMetrics`, :mod:`repro.obs.chrometrace`
+exports Chrome trace-event JSON viewable in Perfetto, and
+:mod:`repro.obs.profile` renders the hottest source lines.
+
+The cost contract mirrors the race detector's: a disabled observer is
+``None`` and every hook site pays exactly one ``None`` test.  Timestamps
+come from :meth:`Backend.now`, so traces are wall-clock on the thread
+backend and **virtual** (deterministic) on the sim and coop backends.
+"""
+
+from .observer import Observer
+from .metrics import RunMetrics, collect_metrics
+from .chrometrace import chrome_trace, write_chrome_trace
+from .profile import line_profile, render_profile
+
+__all__ = [
+    "Observer",
+    "RunMetrics",
+    "collect_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "line_profile",
+    "render_profile",
+]

@@ -1,0 +1,136 @@
+"""Export an :class:`~repro.obs.observer.Observer` as Chrome trace JSON.
+
+The output follows the Trace Event Format (``ph: "X"`` complete events with
+microsecond timestamps plus ``ph: "M"`` metadata naming threads), which
+both ``chrome://tracing`` and https://ui.perfetto.dev load directly.
+
+Two processes appear in the trace:
+
+* **pid 1 — tetra threads**: one track per Tetra thread (main first, then
+  spawn order), carrying thread-lifetime spans, fork/join group spans,
+  function-call spans, and lock wait/hold spans.
+* **pid 2 — sim schedule** (sim backend only): one track per model core,
+  replaying the machine model's Gantt timeline, so the virtual schedule
+  sits next to the recorded task structure.
+
+On virtual-clock backends timestamps are the virtual units themselves
+(1 unit = 1 µs in the viewer), which makes the export byte-for-byte
+deterministic; on the thread backend they are microseconds since program
+start.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _event(name: str, cat: str, ts: float, dur: float, pid: int, tid: int,
+           args: dict | None = None) -> dict:
+    event = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": round(ts, 3),
+        "dur": round(max(dur, 0.0), 3),
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def chrome_trace(obs, backend=None) -> dict:
+    """Build the trace dict (``json.dump`` it to get a Perfetto file)."""
+    backend = backend if backend is not None else obs.backend
+    tids = obs.tid_map()
+    origin = obs.program_start
+
+    def ts(t: float) -> float:
+        if obs.virtual:
+            return max(t, 0.0)
+        return max((t - origin) * 1e6, 0.0)
+
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": f"tetra threads ({obs.backend_name} backend)"}},
+    ]
+    for cid, label in obs.threads.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tids[cid],
+            "args": {"name": label},
+        })
+
+    if obs.program_ctx_id is not None:
+        events.append(_event(
+            "program", "program",
+            ts(obs.program_start),
+            ts(obs.program_end) - ts(obs.program_start),
+            1, tids.get(obs.program_ctx_id, 0),
+        ))
+
+    for cid, (start, end) in obs.thread_spans.items():
+        label = obs.threads.get(cid, f"thread {cid}")
+        args = {}
+        chunk = obs.chunks.get(cid)
+        if chunk is not None:
+            args = {"parallel_for_line": chunk[0], "items": chunk[1]}
+        events.append(_event(label, "thread", ts(start), ts(end) - ts(start),
+                             1, tids.get(cid, 0), args or None))
+
+    for cid, kind, start, end, n, line, join in obs.groups:
+        name = f"{kind} ({n} thread{'s' if n != 1 else ''}, line {line})"
+        events.append(_event(name, "fork", ts(start), ts(end) - ts(start),
+                             1, tids.get(cid, 0),
+                             {"join": join, "children": n}))
+
+    for cid, name, t_req, t_acq, t_rel, contended in obs.lock_events:
+        tid = tids.get(cid, 0)
+        if t_acq > t_req:
+            events.append(_event(f"wait lock {name}", "lock-wait",
+                                 ts(t_req), ts(t_acq) - ts(t_req), 1, tid,
+                                 {"contended": contended}))
+        events.append(_event(f"lock {name}", "lock",
+                             ts(t_acq), ts(t_rel) - ts(t_acq), 1, tid,
+                             {"contended": contended}))
+
+    for cid, name, start, end in obs.calls:
+        events.append(_event(name, "call", ts(start), ts(end) - ts(start),
+                             1, tids.get(cid, 0)))
+
+    if getattr(backend, "recorder", None) is not None and \
+            hasattr(backend, "schedule"):
+        try:
+            sched = backend.schedule()
+        except Exception:
+            sched = None  # partial trace from an aborted run
+        if sched is not None:
+            events.append({
+                "name": "process_name", "ph": "M", "pid": 2, "tid": 0,
+                "args": {"name": f"sim schedule ({sched.cores} cores)"},
+            })
+            for core in range(sched.cores):
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": 2,
+                    "tid": core + 1, "args": {"name": f"core {core}"},
+                })
+            for seg in sched.timeline:
+                events.append(_event(seg.label, "schedule", seg.start,
+                                     seg.end - seg.start, 2, seg.core + 1,
+                                     {"task": seg.task_id}))
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "backend": obs.backend_name,
+            "virtual_clock": obs.virtual,
+        },
+    }
+
+
+def write_chrome_trace(obs, path: str, backend=None) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` (stable key order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(obs, backend), handle, sort_keys=True)
+        handle.write("\n")

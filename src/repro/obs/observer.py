@@ -1,0 +1,163 @@
+"""The event collector the backends and interpreter report into.
+
+One :class:`Observer` watches one program run.  It is created by the
+interpreter when any of ``RuntimeConfig.trace`` / ``metrics`` / ``profile``
+is set, bound to the backend (whose :meth:`~repro.runtime.backend.Backend.now`
+supplies every timestamp), and stored on both the interpreter and the
+backend so all hook sites share a single ``None``-check to skip it.
+
+Determinism: on the coop backend every recording call happens while the
+calling thread holds the scheduler turn (spans are opened by the *spawner*
+and closed by the child before it yields), so event order and the virtual
+timestamps are a pure function of the schedule — same policy seed, same
+bytes out.  Thread-span starts are therefore taken at *wrap* time (in the
+spawner), not inside the child thunk, where OS startup timing would leak in.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..stdlib.builtin_time import monotonic_clock
+
+
+class Observer:
+    """Collects span events and counters for one program run."""
+
+    def __init__(self, trace: bool = False, metrics: bool = False,
+                 profile: bool = False):
+        self.trace = trace
+        self.metrics = metrics
+        self.profile = profile
+        self.clock: Callable[[], float] = monotonic_clock
+        self.virtual = False
+        self.backend = None
+        self.backend_name = "?"
+        self._mu = threading.Lock()
+        #: ctx id → label, in registration order (this order *is* the
+        #: exported thread-id mapping, so traces don't leak the
+        #: process-global ThreadContext counter).
+        self.threads: dict[int, str] = {}
+        #: ctx id → (start, end) in backend clock units.
+        self.thread_spans: dict[int, tuple[float, float]] = {}
+        #: (spawner ctx id, kind, start, end, n_children, line, join).
+        self.groups: list[tuple[int, str, float, float, int, int, bool]] = []
+        #: (ctx id, lock name, t_request, t_acquired, t_released, contended).
+        self.lock_events: list[tuple[int, str, float, float, float, bool]] = []
+        #: parallel-for worker ctx id → (line, items in its chunk).
+        self.chunks: dict[int, tuple[int, int]] = {}
+        #: Function-call spans, recorded only while tracing:
+        #: (ctx id, function name, start, end).
+        self.calls: list[tuple[int, str, float, float]] = []
+        #: Profile counters (line → count / charged units).
+        self.line_hits: dict[int, int] = {}
+        self.line_units: dict[int, int] = {}
+        self._cur_line: dict[int, int] = {}
+        #: ctx id → total cost units charged to that thread (accounting
+        #: backends only).  On virtual-clock backends this — not the span
+        #: on the shared clock — is a thread's true busy time.
+        self.units: dict[int, int] = {}
+        self.program_ctx_id: int | None = None
+        self.program_start: float = 0.0
+        self.program_end: float = 0.0
+        self.wall_start: float = 0.0
+        self.wall_end: float = 0.0
+
+    # ------------------------------------------------------------------
+    def bind(self, backend) -> None:
+        """Point every future timestamp at ``backend``'s clock."""
+        self.backend = backend
+        self.backend_name = backend.name
+        self.clock = backend.now
+        self.virtual = backend.virtual_clock
+
+    # -- program lifecycle ----------------------------------------------
+    def program_begin(self, ctx) -> None:
+        self.register_thread(ctx)
+        self.program_ctx_id = ctx.id
+        self.wall_start = monotonic_clock()
+        self.program_start = self.clock()
+
+    def program_end_mark(self, ctx) -> None:
+        self.program_end = self.clock()
+        self.wall_end = monotonic_clock()
+
+    # -- threads ---------------------------------------------------------
+    def register_thread(self, ctx) -> None:
+        with self._mu:
+            self.threads.setdefault(ctx.id, ctx.label)
+
+    def wrap_job(self, ctx, thunk):
+        """Bracket a spawned thunk with its thread's lifetime span.
+
+        The start timestamp is taken here — in the spawner, which on the
+        coop backend holds the scheduler turn — so it is deterministic; the
+        end is taken by the child itself, before it yields its final turn.
+        """
+        clock = self.clock
+        start = clock()
+
+        def run():
+            try:
+                thunk()
+            finally:
+                end = clock()
+                with self._mu:
+                    self.thread_spans[ctx.id] = (start, end)
+
+        return run
+
+    def group_span(self, ctx_id: int, kind: str, start: float, end: float,
+                   child_ids: list[int], line: int, join: bool) -> None:
+        # Virtual clocks don't advance the spawner while children compute,
+        # so stretch a joined group to cover its children's spans.
+        if join:
+            for cid in child_ids:
+                span = self.thread_spans.get(cid)
+                if span is not None and span[1] > end:
+                    end = span[1]
+        with self._mu:
+            self.groups.append(
+                (ctx_id, kind, start, end, len(child_ids), line, join)
+            )
+
+    # -- locks ------------------------------------------------------------
+    def lock_span(self, ctx_id: int, name: str, t_req: float, t_acq: float,
+                  t_rel: float, contended: bool) -> None:
+        with self._mu:
+            self.lock_events.append(
+                (ctx_id, name, t_req, t_acq, t_rel, contended)
+            )
+
+    # -- parallel for ------------------------------------------------------
+    def register_chunk(self, ctx_id: int, line: int, n_items: int) -> None:
+        with self._mu:
+            self.chunks[ctx_id] = (line, n_items)
+
+    # -- calls (trace only: one event per Tetra function call) ------------
+    def call_span(self, ctx_id: int, name: str, start: float,
+                  end: float) -> None:
+        with self._mu:
+            self.calls.append((ctx_id, name, start, end))
+
+    # -- profile -----------------------------------------------------------
+    def line_hit(self, ctx_id: int, line: int) -> None:
+        with self._mu:
+            self._cur_line[ctx_id] = line
+            self.line_hits[line] = self.line_hits.get(line, 0) + 1
+
+    def charge_units(self, ctx_id: int, units: int) -> None:
+        """Record charged cost units against the thread (always) and its
+        current source line (profile runs)."""
+        with self._mu:
+            self.units[ctx_id] = self.units.get(ctx_id, 0) + units
+            if self.profile:
+                line = self._cur_line.get(ctx_id)
+                if line is not None:
+                    self.line_units[line] = self.line_units.get(line, 0) + units
+
+    # -- exported ids ------------------------------------------------------
+    def tid_map(self) -> dict[int, int]:
+        """ctx id → small stable thread id (registration order, main = 1)."""
+        return {cid: i for i, cid in enumerate(self.threads, start=1)}

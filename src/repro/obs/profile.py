@@ -1,0 +1,47 @@
+"""Line-level profile: the hottest Tetra source lines of a run.
+
+The observer counts statement executions per source line on every backend;
+on the sim backend it additionally attributes *charged cost units* to the
+line being executed, which is the paper-faithful notion of "how expensive"
+a line is (the machine model schedules exactly those units).  The report
+ranks by units when available, by execution count otherwise.
+"""
+
+from __future__ import annotations
+
+
+def line_profile(obs) -> list[tuple[int, int, int]]:
+    """``(line, hits, units)`` rows, hottest first."""
+    lines = set(obs.line_hits) | set(obs.line_units)
+    rows = [
+        (line, obs.line_hits.get(line, 0), obs.line_units.get(line, 0))
+        for line in lines
+    ]
+    if obs.line_units:
+        rows.sort(key=lambda r: (-r[2], -r[1], r[0]))
+    else:
+        rows.sort(key=lambda r: (-r[1], r[0]))
+    return rows
+
+
+def render_profile(obs, source=None, top: int = 15) -> str:
+    """The panel ``tetra run --profile`` prints."""
+    rows = line_profile(obs)
+    if not rows:
+        return "profile: no statements executed"
+    has_units = bool(obs.line_units)
+    metric = "cost units" if has_units else "statements"
+    out = [f"hottest lines by {metric} ({obs.backend_name} backend)"]
+    header = f"  {'line':>5}  {'stmts':>9}"
+    if has_units:
+        header += f"  {'units':>10}"
+    out.append(header + "  source")
+    for line, hits, units in rows[:top]:
+        text = source.line_text(line).strip() if source is not None else ""
+        row = f"  {line:>5}  {hits:>9}"
+        if has_units:
+            row += f"  {units:>10}"
+        out.append(f"{row}  {text}")
+    if len(rows) > top:
+        out.append(f"  ... and {len(rows) - top} more lines")
+    return "\n".join(out)

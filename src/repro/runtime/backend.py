@@ -26,6 +26,7 @@ from typing import Callable, Sequence
 
 from ..errors import TetraDeadlockError, TetraError, TetraThreadError
 from ..source import NO_SPAN, Span
+from ..stdlib.builtin_time import monotonic_clock
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .locks import LockTable
 
@@ -83,6 +84,15 @@ class RuntimeConfig:
     #: Record shared read/write events and report data races
     #: (happens-before + lockset; see :mod:`repro.analysis.races`).
     detect_races: bool = False
+    #: Collect span events (threads, fork/join, locks, calls) exportable as
+    #: Chrome trace JSON (see :mod:`repro.obs`).
+    trace: bool = False
+    #: Aggregate run metrics (busy time, lock contention, load balance)
+    #: onto :attr:`repro.api.RunResult.metrics`.
+    metrics: bool = False
+    #: Count statement executions (and, on sim, charged cost units) per
+    #: source line — ``tetra run --profile``.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.chunking not in ("block", "cyclic"):
@@ -95,12 +105,29 @@ class Backend:
     #: True if charge() should be called for every operation (sim only);
     #: the interpreter skips cost computation entirely when False.
     accounting = False
+    #: True when :meth:`now` returns deterministic virtual time (sim, coop)
+    #: rather than host seconds.
+    virtual_clock = False
+    #: The run's :class:`~repro.obs.observer.Observer`, installed by the
+    #: interpreter when tracing/metrics/profiling is on.  Every emission
+    #: site guards with one ``None``-check, so disabled runs pay nothing —
+    #: the same contract as the race detector.
+    obs = None
     name = "abstract"
 
     def __init__(self, config: RuntimeConfig | None = None):
         self.config = config or RuntimeConfig()
 
     # -- hooks ------------------------------------------------------------
+    def now(self) -> float:
+        """This backend's clock — also what the Tetra ``clock()`` builtin
+        reports.  Host monotonic seconds by default; the sim backend
+        returns accumulated virtual cost units for the current task and the
+        coop backend returns executed scheduler turns, so timing a program
+        under those backends measures *modelled* time, deterministically.
+        """
+        return monotonic_clock()
+
     def charge(self, ctx, units: int) -> None:
         """Account virtual work (sim backend only)."""
 
@@ -197,11 +224,23 @@ class ThreadBackend(Backend):
 
     def lock(self, ctx, name: str, body: Callable[[], None],
              span: Span = NO_SPAN) -> None:
+        obs = self.obs
+        if obs is None:
+            self.locks.acquire(name, ctx.id, span)
+            try:
+                body()
+            finally:
+                self.locks.release(name, ctx.id)
+            return
+        contended = self.locks.holder_of(name) is not None
+        t_req = obs.clock()
         self.locks.acquire(name, ctx.id, span)
+        t_acq = obs.clock()
         try:
             body()
         finally:
             self.locks.release(name, ctx.id)
+            obs.lock_span(ctx.id, name, t_req, t_acq, obs.clock(), contended)
 
     def start_program(self, root_ctx) -> None:
         self.locks.register_thread(root_ctx.id, root_ctx.label)
@@ -238,8 +277,17 @@ class SequentialBackend(Backend):
 
     def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
                     span: Span = NO_SPAN) -> None:
-        for _child_ctx, thunk in jobs:
-            thunk()
+        # Run every child even after one fails, then aggregate — the same
+        # report a real parallel group produces on the thread backend (a
+        # raw child exception used to escape here with no span or label).
+        failures: list[tuple[str, BaseException]] = []
+        for child_ctx, thunk in jobs:
+            try:
+                thunk()
+            except BaseException as exc:  # noqa: BLE001 - aggregated below
+                failures.append((child_ctx.label, exc))
+        raise_thread_failures(failures, span,
+                              "parallel" if join else "background")
 
     def parallel_for_workers(self, n_items: int) -> int:
         workers = self.config.num_workers or 1
@@ -249,14 +297,17 @@ class SequentialBackend(Backend):
 
     def lock(self, ctx, name: str, body: Callable[[], None],
              span: Span = NO_SPAN) -> None:
-        from ..errors import TetraDeadlockError
-
         if (ctx.id, name) in self._held:
             raise TetraDeadlockError(
                 f"{ctx.label} re-entered 'lock {name}:' it already holds", span
             )
+        obs = self.obs
+        t_acq = obs.clock() if obs is not None else 0.0
         self._held.append((ctx.id, name))
         try:
             body()
         finally:
             self._held.remove((ctx.id, name))
+            if obs is not None:
+                # Sequential execution never waits: request == acquire.
+                obs.lock_span(ctx.id, name, t_acq, t_acq, obs.clock(), False)

@@ -242,8 +242,18 @@ class CoopScheduler:
                 )
             else:
                 parts.append(f"{t.label} waits to join its children")
+        # Anchor the diagnostic at a lock-blocked thread's last checkpoint
+        # so `tetra run` renders a caret; NO_SPAN here used to make coop
+        # deadlocks the only runtime error without a source location.
+        span = next(
+            (t.current_span for t in live
+             if t.state == BLOCKED_LOCK and t.current_span is not NO_SPAN),
+            next((t.current_span for t in live
+                  if t.current_span is not NO_SPAN), NO_SPAN),
+        )
         self.abort_exc = TetraDeadlockError(
             "deadlock detected — every thread is blocked: " + "; ".join(parts),
+            span,
             cycle=tuple(parts),
         )
         self.cv.notify_all()
@@ -387,6 +397,7 @@ class CoopScheduler:
 class CoopBackend(Backend):
     """Deterministic cooperative execution (see module docstring)."""
 
+    virtual_clock = True
     name = "coop"
 
     def __init__(self, policy: SchedulerPolicy | None = None,
@@ -400,6 +411,13 @@ class CoopBackend(Backend):
         self.contexts: dict[int, object] = {}
 
     # ------------------------------------------------------------------
+    def now(self) -> float:
+        """The logical clock: total statements executed across all threads
+        (i.e. scheduler turns consumed).  Reads happen while the caller
+        holds the scheduler turn, so timestamps are deterministic for a
+        given policy seed."""
+        return float(sum(self.scheduler.statements_run.values()))
+
     def checkpoint(self, ctx, node) -> None:
         self.scheduler.checkpoint(ctx, node.span)
 
@@ -446,11 +464,23 @@ class CoopBackend(Backend):
 
     def lock(self, ctx, name: str, body: Callable[[], None],
              span: Span = NO_SPAN) -> None:
+        obs = self.obs
+        if obs is None:
+            self.scheduler.acquire_lock(ctx, name, span)
+            try:
+                body()
+            finally:
+                self.scheduler.release_lock(ctx, name)
+            return
+        contended = name in self.scheduler.lock_owner
+        t_req = self.now()
         self.scheduler.acquire_lock(ctx, name, span)
+        t_acq = self.now()
         try:
             body()
         finally:
             self.scheduler.release_lock(ctx, name)
+            obs.lock_span(ctx.id, name, t_req, t_acq, self.now(), contended)
 
     def start_program(self, root_ctx) -> None:
         self.contexts[root_ctx.id] = root_ctx

@@ -25,6 +25,7 @@ safety net against lost wakeups.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..errors import TetraDeadlockError
@@ -41,6 +42,8 @@ class LockStats:
 
     acquisitions: int = 0
     contended_acquisitions: int = 0
+    #: Total seconds threads spent blocked waiting to acquire this lock.
+    wait_time: float = 0.0
 
 
 class LockTable:
@@ -95,8 +98,11 @@ class LockTable:
                 stats.contended_acquisitions += 1
             stats.acquisitions += 1
             self._waiting[key] = name
+            wait_started = None
             try:
                 while self._owners.get(name) is not None:
+                    if wait_started is None:
+                        wait_started = time.perf_counter()
                     # Checked at block time — the thread that closes a cycle
                     # always sees it here — and again on every wakeup.
                     cycle = self._find_cycle(key)
@@ -108,6 +114,8 @@ class LockTable:
                     self._changed.wait(timeout=self.FALLBACK_POLL)
                 self._owners[name] = key
             finally:
+                if wait_started is not None:
+                    stats.wait_time += time.perf_counter() - wait_started
                 self._waiting.pop(key, None)
 
     def release(self, name: str, key: ThreadKey) -> None:

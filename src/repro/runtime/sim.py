@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 
 from ..errors import TetraDeadlockError
 from ..source import NO_SPAN, Span
-from .backend import Backend, Job, RuntimeConfig
+from .backend import Backend, Job, RuntimeConfig, raise_thread_failures
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .machine import Machine, ScheduleResult, speedup_curve
 from .taskgraph import Task, TraceRecorder
@@ -24,6 +24,7 @@ class SimBackend(Backend):
     """Sequential execution + task-graph recording + machine-model timing."""
 
     accounting = True
+    virtual_clock = True
     name = "sim"
 
     def __init__(self, cores: int = 8, cost_model: CostModel = DEFAULT_COST_MODEL,
@@ -36,8 +37,16 @@ class SimBackend(Backend):
     # ------------------------------------------------------------------
     # Recording hooks
     # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Virtual time for the task currently recording: ``clock()``
+        deltas under this backend equal the cost units charged between the
+        two readings, not host wall time."""
+        return float(self.recorder.virtual_now())
+
     def charge(self, ctx, units: int) -> None:
         self.recorder.charge(units)
+        if self.obs is not None:
+            self.obs.charge_units(ctx.id, units)
 
     def record_access(self, ctx, name: str, write: bool,
                       span: Span = NO_SPAN) -> None:
@@ -52,14 +61,22 @@ class SimBackend(Backend):
         children = self.recorder.begin_fork(
             [child_ctx.label for child_ctx, _ in jobs], join
         )
-        for child_task, (_child_ctx, thunk) in zip(children, jobs):
+        # Aggregate child failures exactly like the thread backend would,
+        # instead of letting the first child's raw exception tear through
+        # the recording (which also kept later siblings from running).
+        failures = []
+        for child_task, (child_ctx, thunk) in zip(children, jobs):
             self.recorder.enter_child(child_task)
             try:
                 thunk()
+            except BaseException as exc:  # noqa: BLE001 - aggregated below
+                failures.append((child_ctx.label, exc))
             finally:
                 self.recorder.exit_child()
         if join:
             self.recorder.charge(cm.thread_join * len(jobs))
+        raise_thread_failures(failures, span,
+                              "parallel" if join else "background")
 
     def parallel_for_workers(self, n_items: int) -> int:
         workers = self.config.num_workers or self.cores
@@ -68,6 +85,8 @@ class SimBackend(Backend):
     def lock(self, ctx, name: str, body: Callable[[], None],
              span: Span = NO_SPAN) -> None:
         cm = self.cost_model
+        obs = self.obs
+        t_req = self.now() if obs is not None else 0.0
         self.recorder.charge(cm.lock_acquire)
         if not self.recorder.acquire(name):
             raise TetraDeadlockError(
@@ -75,11 +94,16 @@ class SimBackend(Backend):
                 "Tetra locks are not re-entrant",
                 span,
             )
+        t_acq = self.now() if obs is not None else 0.0
         try:
             body()
         finally:
             self.recorder.release(name)
             self.recorder.charge(cm.lock_release)
+            if obs is not None:
+                # Recording is sequential; modelled waiting appears in the
+                # machine schedule, not here.
+                obs.lock_span(ctx.id, name, t_req, t_acq, self.now(), False)
 
     # ------------------------------------------------------------------
     # Results

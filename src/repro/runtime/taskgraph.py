@@ -148,6 +148,15 @@ class TraceRecorder:
     def charge(self, units: int) -> None:
         self.current.charge(units)
 
+    def virtual_now(self) -> int:
+        """The virtual clock of the task being recorded: work accumulated
+        along the current task stack.  A child starts where its spawner
+        left off, siblings overlap, and two ``virtual_now`` readings in the
+        same task differ by exactly the units charged between them — which
+        is what makes the Tetra ``clock()`` builtin deterministic under the
+        sim backend."""
+        return sum(task.total_work for task in self._stack)
+
     def begin_fork(self, labels: list[str], join: bool) -> list[Task]:
         """Create child tasks; the caller then records into each via
         :meth:`enter_child` / :meth:`exit_child`, then calls

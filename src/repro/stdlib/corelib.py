@@ -187,8 +187,12 @@ def _error(args, io, span):
 
 
 @builtin("clock", [], REAL,
-         doc="clock() — seconds on a monotonic timer (for timing programs)")
+         doc="clock() — this backend's clock: monotonic seconds on the "
+             "thread backend, virtual time on sim/coop (for timing programs)")
 def _clock(args, io, span):
+    # Both interpreters special-case clock() to ``backend.now()`` — the
+    # registry cannot see the backend, so this body only runs for direct
+    # ``Builtin.invoke`` callers (which get the host clock).
     return monotonic_clock()
 
 

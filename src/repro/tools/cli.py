@@ -51,6 +51,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         num_workers=workers,
         chunking=args.chunking,
         detect_races=args.detect_races,
+        trace=args.trace is not None,
+        metrics=args.metrics,
+        profile=args.profile,
     )
     interp = None
     code = 0
@@ -71,6 +74,25 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(render_race_panel(interp.races, source), file=sys.stderr)
         if interp.races and code == 0:
             code = 3
+    # The observability reports are printed even when the run errored —
+    # a partial trace of a crashed program is exactly what one debugs with.
+    obs = interp._obs if interp is not None else None
+    if obs is not None:
+        if args.trace is not None:
+            from ..obs import write_chrome_trace
+
+            write_chrome_trace(obs, args.trace, interp.backend)
+            print(f"trace written to {args.trace} "
+                  "(load in Perfetto or chrome://tracing)", file=sys.stderr)
+        if args.metrics:
+            from ..obs import collect_metrics
+
+            print(collect_metrics(obs, interp.backend).render(),
+                  file=sys.stderr)
+        if args.profile:
+            from ..obs import render_profile
+
+            print(render_profile(obs, source), file=sys.stderr)
     return code
 
 
@@ -267,6 +289,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the compiled-program cache (recompile "
                           "from source even if this exact text ran before)")
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="record an execution trace and write it as "
+                          "Chrome trace-event JSON (view in Perfetto)")
+    run.add_argument("--metrics", action="store_true",
+                     help="print parallel metrics after the run: wall time, "
+                          "per-thread busy time, lock contention, "
+                          "parallel-for load balance, estimated speedup")
+    run.add_argument("--profile", action="store_true",
+                     help="print the hottest source lines by charged cost "
+                          "units (statement counts on non-accounting "
+                          "backends)")
     run.set_defaults(func=cmd_run)
 
     check = sub.add_parser("check", help="type-check without running")

@@ -22,8 +22,9 @@ from __future__ import annotations
 import textwrap
 from typing import TextIO
 
+from ..api import cached_parse
 from ..errors import TetraError
-from ..parser import Parser, parse_source
+from ..parser import Parser
 from ..source import SourceFile
 from ..tetra_ast import Program
 from ..types import VOID, FunctionSignature, LocalScope, ProgramSymbols
@@ -55,14 +56,26 @@ Tetra REPL — statements run immediately, expressions echo their value.
 class ReplSession:
     """The persistent state and evaluation engine behind the REPL."""
 
-    def __init__(self, io: IOChannel | None = None):
+    def __init__(self, io: IOChannel | None = None, cache: bool = True):
         self.io = io or StandardIO()
         self.functions: dict[str, object] = {}  # name -> FunctionDef
         self.classes: dict[str, object] = {}    # name -> ClassDef
         self.scope = LocalScope()
         self.frame = Frame("<repl>")
         self.ctx = ThreadContext("repl thread", Environment(self.frame))
+        #: Re-entering the same definition or statement block (a classroom
+        #: staple: up-arrow, edit, retry) skips re-parsing via the program
+        #: cache.  The tag scopes entries to this session — the checker
+        #: annotates AST nodes in place, and only this session re-checks
+        #: (and therefore re-annotates) the trees it gets back.
+        self.cache = cache
+        self._cache_tag = object()
         self._rebuild()
+
+    def _parse(self, text: str):
+        """Parse a fragment through the session-scoped parse cache."""
+        return cached_parse(text, "<repl>", tag=self._cache_tag,
+                            cache=self.cache)
 
     # ------------------------------------------------------------------
     def _rebuild(self) -> None:
@@ -122,7 +135,7 @@ class ReplSession:
 
     def define_functions(self, text: str) -> list[str]:
         """Handle a ``def``/``class`` input; returns the (re)defined names."""
-        program = parse_source(text, "<repl>")
+        program, _ = self._parse(text)
         previous_fns = dict(self.functions)
         previous_classes = dict(self.classes)
         names = []
@@ -173,8 +186,7 @@ class ReplSession:
     def run_statements(self, text: str) -> None:
         """Check and execute one or more statements in the session scope."""
         wrapped = "def __repl_input__():\n" + textwrap.indent(text, "    ")
-        source = SourceFile.from_string(wrapped, "<repl>")
-        program = parse_source(source)
+        program, source = self._parse(wrapped)
         statements = program.functions[0].body.statements
 
         def check_all():
