@@ -28,12 +28,15 @@ from .api import (
     run_source,
 )
 from .errors import (
+    TetraCancelledError,
     TetraDeadlockError,
     TetraError,
+    TetraLimitError,
     TetraRuntimeError,
     TetraSyntaxError,
     TetraTypeError,
 )
+from .resilience import CancelToken, FaultPlan, install_sigint
 from .parser import parse_source
 from .source import SourceFile
 from .interp import Interpreter
@@ -52,8 +55,10 @@ __all__ = [
     "BACKEND_FACTORIES", "RunResult", "cached_program", "check_source",
     "clear_program_cache", "compile_source", "program_cache_info",
     "run_file", "run_source",
-    "TetraDeadlockError", "TetraError", "TetraRuntimeError",
+    "TetraCancelledError", "TetraDeadlockError", "TetraError",
+    "TetraLimitError", "TetraRuntimeError",
     "TetraSyntaxError", "TetraTypeError",
+    "CancelToken", "FaultPlan", "install_sigint",
     "parse_source", "SourceFile", "Interpreter",
     "CoopBackend", "CostModel", "RuntimeConfig", "SequentialBackend",
     "SimBackend", "ThreadBackend",

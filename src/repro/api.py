@@ -68,6 +68,19 @@ class RunResult:
     #: was enabled; feed it to :func:`repro.obs.chrome_trace` or
     #: :func:`repro.obs.render_profile`.
     obs: object = None
+    #: :class:`~repro.resilience.faults.FaultRecord` entries the chaos plan
+    #: injected (empty unless the run had a ``chaos_seed``/fault plan).
+    faults: list = field(default_factory=list)
+    #: Injection counters by kind (e.g. ``{"preempt": 12}``), never capped.
+    fault_counts: dict = field(default_factory=dict)
+    #: Why the run stopped early: ``"time"``, ``"memory"``, ``"steps"``,
+    #: ``"recursion"``, ``"cancelled"``, ``"deadlock"``, ``"error"`` — or
+    #: None when it ran to completion.  Only set with ``on_error="return"``.
+    aborted_by: str | None = None
+    #: The :class:`~repro.errors.TetraError` that ended the run, when
+    #: ``on_error="return"`` swallowed it.  Partial output/races/metrics
+    #: gathered before the abort are still populated.
+    error: object = None
 
     @property
     def output(self) -> str:
@@ -212,6 +225,23 @@ def check_source(text: str, name: str = "<string>") -> list[TetraError]:
     return list(collect_diagnostics(program, source))
 
 
+def _abort_kind(exc) -> str:
+    """Classify why a run ended early (for :attr:`RunResult.aborted_by`)."""
+    from .errors import (
+        TetraCancelledError,
+        TetraDeadlockError,
+        TetraLimitError,
+    )
+
+    if isinstance(exc, TetraDeadlockError):
+        return "deadlock"
+    if isinstance(exc, TetraCancelledError):
+        return "cancelled"
+    if isinstance(exc, TetraLimitError):
+        return exc.limit or "limit"
+    return "error"
+
+
 def run_source(text: str, inputs: list[str] | None = None,
                backend: str | Backend = "thread",
                config: RuntimeConfig | None = None,
@@ -219,7 +249,10 @@ def run_source(text: str, inputs: list[str] | None = None,
                detect_races: bool = False,
                cache: bool = True, fast: bool = True,
                trace: bool = False, metrics: bool = False,
-               profile: bool = False) -> RunResult:
+               profile: bool = False,
+               time_limit: float = 0.0, memory_limit: int = 0,
+               cancel: object = None, chaos_seed: int | None = None,
+               on_error: str = "raise") -> RunResult:
     """Compile and run Tetra source, capturing console output.
 
     ``backend`` is a name from :data:`BACKEND_FACTORIES` or a ready-made
@@ -232,7 +265,20 @@ def run_source(text: str, inputs: list[str] | None = None,
     :attr:`RunResult.obs` observer, ``metrics`` additionally aggregates it
     into :attr:`RunResult.metrics`, and :meth:`RunResult.chrome_trace`
     exports the timeline.
+
+    Guardrails and chaos (DESIGN.md §6f): ``time_limit`` aborts the run
+    after that much backend-clock time (host seconds on thread/sequential,
+    virtual units on sim/coop), ``memory_limit`` caps live value-heap
+    cells, ``cancel`` takes a :class:`~repro.resilience.CancelToken`
+    observed at every statement, and ``chaos_seed`` runs the program under
+    a seeded :class:`~repro.resilience.FaultPlan` (injected faults land in
+    :attr:`RunResult.faults`).  ``on_error="return"`` reports a failed run
+    through :attr:`RunResult.error`/:attr:`RunResult.aborted_by` — with
+    whatever partial output, races, and metrics the run produced — instead
+    of raising.
     """
+    if on_error not in ("raise", "return"):
+        raise ValueError('on_error must be "raise" or "return"')
     program, source = cached_program(text, name, entry, cache=cache)
     overrides = {}
     if detect_races:
@@ -243,9 +289,23 @@ def run_source(text: str, inputs: list[str] | None = None,
         overrides["metrics"] = True
     if profile:
         overrides["profile"] = True
+    if time_limit:
+        overrides["time_limit"] = time_limit
+    if memory_limit:
+        overrides["memory_limit"] = memory_limit
+    if cancel is not None:
+        overrides["cancel"] = cancel
+    if chaos_seed is not None:
+        overrides["chaos_seed"] = chaos_seed
     if overrides:
         config = replace(config, **overrides) if config is not None \
             else RuntimeConfig(**overrides)
+        if config.fault_plan is None and config.chaos_seed is not None:
+            # dataclasses.replace re-runs __post_init__, but cover the
+            # path where the caller's config already carried a seed.
+            from .resilience import FaultPlan
+
+            config.fault_plan = FaultPlan(config.chaos_seed)
     if isinstance(backend, str):
         try:
             factory = BACKEND_FACTORIES[backend]
@@ -260,9 +320,22 @@ def run_source(text: str, inputs: list[str] | None = None,
     io = CapturingIO(inputs or [])
     interp = Interpreter(program, source, backend=backend_obj, io=io,
                          config=config, fast=fast)
-    interp.run(entry)
+    error = None
+    try:
+        interp.run(entry)
+    except TetraError as exc:
+        if on_error == "raise":
+            raise
+        error = exc
     result = RunResult(program, backend_obj, io, program.symbols,  # type: ignore[attr-defined]
                        races=interp.races, name=name)
+    if error is not None:
+        result.error = error
+        result.aborted_by = _abort_kind(error)
+    plan = interp.config.fault_plan
+    if plan is not None:
+        result.faults = list(plan.records)
+        result.fault_counts = dict(plan.counts)
     obs = interp._obs
     if obs is not None:
         result.obs = obs
@@ -283,9 +356,15 @@ def run_file(path: str, inputs: list[str] | None = None,
              detect_races: bool = False,
              cache: bool = True, fast: bool = True,
              trace: bool = False, metrics: bool = False,
-             profile: bool = False) -> RunResult:
+             profile: bool = False,
+             time_limit: float = 0.0, memory_limit: int = 0,
+             cancel: object = None, chaos_seed: int | None = None,
+             on_error: str = "raise") -> RunResult:
     """Compile and run a ``.ttr`` file."""
     source = SourceFile.from_path(path)
     return run_source(source.text, inputs, backend, config, name=path,
                       detect_races=detect_races, cache=cache, fast=fast,
-                      trace=trace, metrics=metrics, profile=profile)
+                      trace=trace, metrics=metrics, profile=profile,
+                      time_limit=time_limit, memory_limit=memory_limit,
+                      cancel=cancel, chaos_seed=chaos_seed,
+                      on_error=on_error)

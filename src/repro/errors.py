@@ -102,16 +102,37 @@ class TetraDeadlockError(TetraRuntimeError):
     cycle in the lock wait-for graph.
 
     The message names the threads and locks involved — the whole point of
-    Tetra is teaching students *why* their program froze.
+    Tetra is teaching students *why* their program froze.  ``blocked_spans``
+    carries the source location of *every* blocked ``lock`` statement in the
+    cycle (the primary ``span`` is one of them), so the diagnostic can point
+    a caret at each of the statements that are waiting on each other.
     """
 
     phase = "deadlock"
 
     def __init__(self, message: str, span: Span = NO_SPAN,
                  source: SourceFile | None = None,
-                 cycle: tuple[str, ...] = ()):
+                 cycle: tuple[str, ...] = (),
+                 blocked_spans: tuple[Span, ...] = ()):
         super().__init__(message, span, source)
         self.cycle = cycle
+        self.blocked_spans = blocked_spans
+
+    def render(self) -> str:
+        text = super().render()
+        if self.source is None:
+            return text
+        extra = [
+            s for s in self.blocked_spans
+            if s is not NO_SPAN and s.line > 0
+            and (s.line, s.column) != (self.span.line, self.span.column)
+        ]
+        for s in extra:
+            text += (
+                f"\nalso blocked at {self.source.name}:{s.line}:{s.column}:\n"
+                f"{self.source.caret_snippet(s)}"
+            )
+        return text
 
 
 class TetraThreadError(TetraRuntimeError):
@@ -128,12 +149,35 @@ class TetraInternalError(TetraError):
 
 
 class TetraLimitError(TetraRuntimeError):
-    """A configured resource limit was exceeded (recursion depth, step budget).
+    """A configured resource limit was exceeded (recursion depth, step
+    budget, wall/virtual time, or the value-heap memory budget).
 
-    Step budgets let tests and the debugger bound runaway programs.
+    Limits let tests, the debugger, and ``tetra run`` bound runaway
+    programs.  ``limit`` names which guardrail tripped (``"steps"``,
+    ``"recursion"``, ``"time"``, ``"memory"``) so callers — the CLI exit
+    codes, :attr:`repro.api.RunResult.aborted_by`, the stress harness —
+    can react without parsing the message.
     """
 
     phase = "limit exceeded"
+
+    def __init__(self, message: str, span: Span = NO_SPAN,
+                 source: SourceFile | None = None, limit: str = ""):
+        super().__init__(message, span, source)
+        self.limit = limit
+
+
+class TetraCancelledError(TetraRuntimeError):
+    """The run was cancelled from outside the program: Ctrl-C, an IDE stop
+    button, or a :class:`repro.resilience.CancelToken` being cancelled.
+
+    Cancellation is cooperative — every thread observes the token at its
+    next statement boundary, unwinds through the normal error path (so
+    ``parallel`` joins its children and partial traces/metrics survive),
+    and the program exits with a uniform diagnostic instead of a traceback.
+    """
+
+    phase = "cancelled"
 
 
 class TetraUserError(TetraRuntimeError):
@@ -147,12 +191,37 @@ def is_catchable(exc: BaseException) -> bool:
 
     Ordinary runtime failures (bad index, division by zero, I/O problems,
     assertion/``error()`` calls) are catchable.  Deadlocks, thread failures,
-    and resource-limit aborts are not — they describe a broken *program
-    run*, not a recoverable condition, and letting a student swallow a
-    deadlock would defeat the diagnostic.
+    resource-limit aborts, and cancellation are not — they describe a broken
+    (or externally stopped) *program run*, not a recoverable condition, and
+    letting a student swallow a deadlock would defeat the diagnostic.
     """
     if not isinstance(exc, TetraRuntimeError):
         return False
     return not isinstance(
-        exc, (TetraDeadlockError, TetraThreadError, TetraLimitError)
+        exc, (TetraDeadlockError, TetraThreadError, TetraLimitError,
+              TetraCancelledError)
     )
+
+
+# ----------------------------------------------------------------------
+# Uniform CLI exit codes (documented in README "Guardrails & chaos testing")
+# ----------------------------------------------------------------------
+EXIT_OK = 0          #: clean run
+EXIT_ERROR = 1       #: any other Tetra diagnostic (syntax, type, runtime)
+EXIT_USAGE = 2       #: bad command-line usage (argparse's convention)
+EXIT_RACES = 3       #: --detect-races found data races (run itself clean)
+EXIT_LIMIT = 4       #: a guardrail tripped (step/time/memory/recursion)
+EXIT_DEADLOCK = 5    #: a deadlock was detected and aborted
+EXIT_CANCELLED = 130  #: cancelled (SIGINT / stop button), 128 + SIGINT
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The uniform exit code ``tetra run`` (and ``tetra stress`` workers)
+    report for a failed run."""
+    if isinstance(exc, TetraCancelledError):
+        return EXIT_CANCELLED
+    if isinstance(exc, TetraDeadlockError):
+        return EXIT_DEADLOCK
+    if isinstance(exc, TetraLimitError):
+        return EXIT_LIMIT
+    return EXIT_ERROR

@@ -89,8 +89,14 @@ class DebugSession:
                  detect_races: bool = False):
         self.program, self.source = cached_program(text, name)
         self.io = CapturingIO(inputs or [])
+        from ..resilience import CancelToken
+
+        #: The IDE stop button routes through this token (via
+        #: Interpreter.stop), so even threads parked on locks unwind.
+        self.cancel = CancelToken()
         config = RuntimeConfig(num_workers=num_workers,
-                               detect_races=detect_races)
+                               detect_races=detect_races,
+                               cancel=self.cancel)
         self.backend = CoopBackend(ManualPolicy(), config=config)
         self.interpreter = Interpreter(
             self.program, self.source, backend=self.backend, io=self.io,

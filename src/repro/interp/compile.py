@@ -214,8 +214,16 @@ class _Compiler:
         #: Per-line profile hook; bound once so run_full pays a None test.
         self._line_hit = (obs.line_hit
                           if obs is not None and obs.profile else None)
+        #: Guardrail check (cancel token / time limit / chaos preemption),
+        #: bound once; None in the common unguarded case.  The heap meter
+        #: is checked at allocation sites, so it does not force the full
+        #: statement prologue.
+        guard = interp._guard
+        self._guard_check = guard.check if guard is not None else None
+        self._heap = interp._heap
         self.lean = not (self.acc or self.limit or self.need_checkpoint
-                         or self._line_hit is not None)
+                         or self._line_hit is not None
+                         or self._guard_check is not None)
         self._invokers: dict[str, Invoker] = {}
         self._method_invokers: dict[tuple[str, str], Invoker] = {}
         #: Names that *can* be thread-private in the function currently
@@ -275,12 +283,17 @@ class _Compiler:
         def invoke(args, ctx, span):
             call_stack = ctx.call_stack
             if len(call_stack) >= recursion_limit:
-                raise interp._err(
-                    TetraLimitError,
+                exc = TetraLimitError(
                     f"recursion depth exceeded {recursion_limit} "
-                    f"calls (last call: '{name}')",
+                    f"calls (last call: '{name}') — raise it with "
+                    "RuntimeConfig(recursion_limit=...) if the recursion "
+                    "is intentional",
                     span,
+                    limit="recursion",
                 )
+                if interp.source is not None:
+                    exc.attach_source(interp.source)
+                raise exc
             frame = Frame(name, depth=len(call_stack))
             fvars = frame.vars
             if simple_params:
@@ -373,17 +386,25 @@ class _Compiler:
         limit = self.limit
         steps = interp._steps
         line_hit = self._line_hit
+        guard_check = self._guard_check
         line = span.line
 
         def run_full(ctx):
             if interp._stopped:
                 raise TetraThreadError("the program was stopped")
             if limit and next(steps) > limit:
-                raise interp._err(
-                    TetraLimitError,
-                    f"the program exceeded its budget of {limit} statements",
+                exc = TetraLimitError(
+                    f"the program exceeded its budget of {limit} statements "
+                    "— raise it with --step-limit or "
+                    "RuntimeConfig(step_limit=...)",
                     span,
+                    limit="steps",
                 )
+                if interp.source is not None:
+                    exc.attach_source(interp.source)
+                raise exc
+            if guard_check is not None:
+                guard_check(ctx, span)
             stack = ctx.call_stack
             if stack:
                 stack[-1].current_span = span
@@ -931,6 +952,21 @@ class _Compiler:
 
         return run_acc
 
+    def _with_heap(self, run: ExprRun, span) -> ExprRun:
+        """Wrap an allocation site with the memory-limit meter (no-op —
+        the closure is returned untouched — unless memory_limit is set)."""
+        heap = self._heap
+        if heap is None:
+            return run
+        track_value = heap.track_value
+
+        def run_tracked(ctx):
+            result = run(ctx)
+            track_value(result, span)
+            return result
+
+        return run_tracked
+
     def _expr_array_literal(self, e: ArrayLiteral) -> ExprRun:
         ty = e.ty
         if not isinstance(ty, ArrayType):
@@ -941,7 +977,7 @@ class _Compiler:
             def run(ctx):
                 return make_array([f(ctx) for f in elem_fns], element_ty)
 
-            return run
+            return self._with_heap(run, e.span)
 
         charge = self.backend.charge
         units = self.cost.array_element * max(1, len(elem_fns))
@@ -951,7 +987,7 @@ class _Compiler:
             charge(ctx, units)
             return make_array(values, element_ty)
 
-        return run_acc
+        return self._with_heap(run_acc, e.span)
 
     def _expr_tuple_literal(self, e: TupleLiteral) -> ExprRun:
         ty = e.ty
@@ -979,7 +1015,7 @@ class _Compiler:
                 charge(ctx, units)
             return TetraTuple(values)
 
-        return run
+        return self._with_heap(run, e.span)
 
     def _expr_dict_literal(self, e: DictLiteral) -> ExprRun:
         ty = e.ty
@@ -1004,7 +1040,7 @@ class _Compiler:
                 charge(ctx, per_element * max(1, len(items)))
             return TetraDict(items, key_ty, value_ty)
 
-        return run
+        return self._with_heap(run, e.span)
 
     def _expr_range_literal(self, e: RangeLiteral) -> ExprRun:
         start_fn = self.expr(e.start)
@@ -1019,7 +1055,7 @@ class _Compiler:
                 charge(ctx, per_element * max(1, len(items)))
             return TetraArray(items, INT)
 
-        return run
+        return self._with_heap(run, e.span)
 
     def _expr_index(self, e: Index) -> ExprRun:
         interp = self.interp
@@ -1173,7 +1209,7 @@ class _Compiler:
                     exc.attach_source(source)
                 raise
 
-        return run_builtin
+        return self._with_heap(run_builtin, span)
 
     def _constructor(self, e: Call, info, arg_fns) -> ExprRun:
         class_name = info.name
@@ -1203,7 +1239,7 @@ class _Compiler:
             }
             return TetraObject(class_name, fields, field_types, field_order)
 
-        return run
+        return self._with_heap(run, e.span)
 
     def _expr_unary(self, e: Unary) -> ExprRun:
         op = e.op

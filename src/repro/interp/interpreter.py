@@ -155,6 +155,22 @@ class Interpreter:
                                  profile=self.config.profile)
             self._obs.bind(self.backend)
             self.backend.obs = self._obs
+        # Guardrails keep the contract too: `_guard` is bound only when the
+        # statement-boundary check would do something (cancel token, time
+        # limit, or thread-backend chaos), `_heap` only under memory_limit.
+        self._guard = None
+        if (self.config.time_limit or self.config.cancel is not None
+                or self.config.fault_plan is not None):
+            from ..resilience.guard import ExecutionGuard
+
+            guard = ExecutionGuard(self.backend, self.config)
+            if guard.active:
+                self._guard = guard
+        self._heap = None
+        if self.config.memory_limit:
+            from ..resilience.guard import HeapMeter
+
+            self._heap = HeapMeter(self.config.memory_limit)
         self._stmt_dispatch = {
             ExprStmt: self._exec_expr_stmt,
             Assign: self._exec_assign,
@@ -228,6 +244,8 @@ class Interpreter:
         ctx = ThreadContext("main thread")
         if self._race is not None:
             self._race.register(ctx.id, ctx.label)
+        if self._guard is not None:
+            self._guard.start()
         self.backend.start_program(ctx)
         if self._obs is not None:
             self._obs.program_begin(ctx)
@@ -279,12 +297,17 @@ class Interpreter:
                   span: Span) -> Value | None:
         name = sig.name
         if len(ctx.call_stack) >= self.config.recursion_limit:
-            raise self._err(
-                TetraLimitError,
+            exc = TetraLimitError(
                 f"recursion depth exceeded {self.config.recursion_limit} "
-                f"calls (last call: '{name}')",
+                f"calls (last call: '{name}') — raise it with "
+                "RuntimeConfig(recursion_limit=...) if the recursion is "
+                "intentional",
                 span,
+                limit="recursion",
             )
+            if self.source is not None:
+                exc.attach_source(self.source)
+            raise exc
         frame = Frame(name, depth=len(ctx.call_stack))
         env = Environment(frame)
         for pname, ptype, value in zip(sig.param_names, sig.param_types, args):
@@ -313,6 +336,11 @@ class Interpreter:
     def stop(self) -> None:
         """Ask every thread to abandon the program at its next statement."""
         self._stopped = True
+        token = self.config.cancel
+        if token is not None:
+            # Route through the CancelToken too, so threads parked on locks
+            # (which never reach the _stopped check) unwind as well.
+            token.cancel("the program was stopped")
 
     @property
     def races(self):
@@ -360,11 +388,18 @@ class Interpreter:
             raise TetraThreadError("the program was stopped")
         limit = self.config.step_limit
         if limit and next(self._steps) > limit:
-            raise self._err(
-                TetraLimitError,
-                f"the program exceeded its budget of {limit} statements",
+            exc = TetraLimitError(
+                f"the program exceeded its budget of {limit} statements — "
+                "raise it with --step-limit or RuntimeConfig(step_limit=...)",
                 stmt.span,
+                limit="steps",
             )
+            if self.source is not None:
+                exc.attach_source(self.source)
+            raise exc
+        guard = self._guard
+        if guard is not None:
+            guard.check(ctx, stmt.span)
         if ctx.call_stack:
             ctx.call_stack[-1].current_span = stmt.span
         self.backend.checkpoint(ctx, stmt)
@@ -544,6 +579,11 @@ class Interpreter:
         edges when race detection is on and with observability spans when
         tracing/metrics is on.  Both the walker and the fast path spawn
         through here, so instrumentation lives in exactly one place."""
+        plan = self.config.fault_plan
+        if plan is not None and jobs:
+            # Chaos: optionally replace child thunks with injected crashes
+            # (drawn in the spawner, so deterministic on virtual backends).
+            jobs = plan.wrap_jobs(jobs)
         det = self._race
         if det is not None and jobs:
             det.mark_shared(ctx.env.frame)
@@ -679,7 +719,11 @@ class Interpreter:
                 "program type-checked?",
                 expr.span,
             )
-        return make_array(values, ty.element)
+        result = make_array(values, ty.element)
+        heap = self._heap
+        if heap is not None:
+            heap.track(result, len(values), expr.span)
+        return result
 
     def _eval_tuple_literal(self, expr: TupleLiteral, ctx: ThreadContext) -> Value:
         values = [self.eval_expr(e, ctx) for e in expr.elements]
@@ -695,7 +739,11 @@ class Interpreter:
             self.backend.charge(
                 ctx, self.cost_model.array_element * len(values)
             )
-        return TetraTuple(values)
+        result = TetraTuple(values)
+        heap = self._heap
+        if heap is not None:
+            heap.track(result, len(values), expr.span)
+        return result
 
     def _eval_dict_literal(self, expr: DictLiteral, ctx: ThreadContext) -> Value:
         ty = expr.ty
@@ -714,7 +762,11 @@ class Interpreter:
             self.backend.charge(
                 ctx, self.cost_model.array_element * max(1, len(items))
             )
-        return TetraDict(items, ty.key, ty.value)
+        result = TetraDict(items, ty.key, ty.value)
+        heap = self._heap
+        if heap is not None:
+            heap.track(result, len(items), expr.span)
+        return result
 
     def _eval_range_literal(self, expr: RangeLiteral, ctx: ThreadContext) -> Value:
         start = self.eval_expr(expr.start, ctx)
@@ -726,7 +778,11 @@ class Interpreter:
             )
         from ..types import INT
 
-        return TetraArray(items, INT)
+        result = TetraArray(items, INT)
+        heap = self._heap
+        if heap is not None:
+            heap.track(result, len(items), expr.span)
+        return result
 
     def _eval_index(self, expr: Index, ctx: ThreadContext) -> Value:
         base = self.eval_expr(expr.base, ctx)
@@ -770,11 +826,15 @@ class Interpreter:
             # builtin table cannot see the backend, so dispatch here.
             return self.backend.now()
         try:
-            return builtin.invoke(args, self.io, expr.span)
+            result = builtin.invoke(args, self.io, expr.span)
         except TetraRuntimeError as exc:
             if exc.source is None and self.source is not None:
                 exc.attach_source(self.source)
             raise
+        heap = self._heap
+        if heap is not None:
+            heap.track_value(result, expr.span)
+        return result
 
     def _construct(self, class_name: str, args: list[Value],
                    ctx: ThreadContext) -> TetraObject:
@@ -789,8 +849,12 @@ class Interpreter:
             name: coerce_to(value, field_types[name])
             for name, value in zip(info.field_names, args)
         }
-        return TetraObject(class_name, fields, field_types,
-                           list(info.field_names))
+        result = TetraObject(class_name, fields, field_types,
+                             list(info.field_names))
+        heap = self._heap
+        if heap is not None:
+            heap.track(result, len(fields), NO_SPAN)
+        return result
 
     def _eval_attribute(self, expr: Attribute, ctx: ThreadContext) -> Value:
         base = self.eval_expr(expr.base, ctx)

@@ -1,0 +1,55 @@
+"""Execution resilience: guardrails, clean cancellation, fault injection.
+
+Tetra exists to run beginner-written parallel programs, and beginner code
+hangs, recurses forever, deadlocks real threads, and leaks races that only
+appear under unlucky schedules.  This package is the runtime's answer
+(DESIGN.md §6f), in three pillars:
+
+* **Guardrails** — :class:`ExecutionGuard` enforces the wall-clock
+  ``time_limit`` (virtual units on the sim/coop backends, monotonic host
+  seconds on thread/sequential), the value-heap ``memory_limit`` (via
+  :class:`HeapMeter`), and a cooperative :class:`CancelToken`, all checked
+  at the statement boundary the backends already use as their scheduling
+  point.  Disabled guards cost nothing: the interpreter and the compiled
+  fast path bind the check only when a guard is configured — the same
+  one-``None``-check contract as the race detector and the Observer.
+
+* **Clean cancellation** — :class:`CancelToken` plus
+  :func:`install_sigint`: Ctrl-C and the IDE/debugger stop button set the
+  token, every thread unwinds with a
+  :class:`~repro.errors.TetraCancelledError` at its next statement, the
+  backends join their children, and partial traces/metrics still come out.
+
+* **Fault injection** — a seeded :class:`FaultPlan` (preemption jitter on
+  real threads, schedule-perturbation seeds on the deterministic backends,
+  injected lock-acquire delays, optional injected thread faults) and the
+  :func:`run_stress` harness behind ``tetra stress``, which shakes a
+  program across N seeds × backends and reports divergent outputs,
+  deadlocks, and race-detector hits in one table.
+"""
+
+from .cancel import CancelToken, install_sigint
+from .faults import FaultPlan, FaultRecord
+from .guard import ExecutionGuard, HeapMeter
+
+__all__ = [
+    "CancelToken",
+    "ExecutionGuard",
+    "FaultPlan",
+    "FaultRecord",
+    "HeapMeter",
+    "install_sigint",
+    "run_stress",
+    "StressOutcome",
+    "StressReport",
+]
+
+
+def __getattr__(name):
+    # The stress harness imports repro.api (which imports the runtime);
+    # loading it lazily keeps this package importable from the backends.
+    if name in ("run_stress", "StressOutcome", "StressReport"):
+        from . import stress
+
+        return getattr(stress, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,138 @@
+"""Execution guardrails checked at the statement boundary.
+
+The interpreter already owns a per-statement hook chain (stop flag, step
+budget, backend checkpoint, profiler).  :class:`ExecutionGuard` slots into
+it with the run-wide limits that need a *clock* or a *token*: wall-clock
+``time_limit`` (the backend's own clock, so sim/coop budgets are virtual
+units and fully deterministic), the cooperative :class:`CancelToken`, and
+thread-backend preemption jitter from a :class:`FaultPlan`.
+
+The value-heap ``memory_limit`` lives in :class:`HeapMeter`, checked at
+container *allocation* sites instead of per statement — live cells are
+tracked with weakref finalizers, so CPython's prompt refcounting keeps the
+meter honest when a program drops a large array.
+
+Both follow the zero-cost-when-disabled contract (the same one the race
+detector and Observer use): when no guard is configured the interpreter
+binds ``None`` and the fast path compiles the check out entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from ..errors import TetraCancelledError, TetraLimitError
+from ..source import NO_SPAN, Span
+
+
+class HeapMeter:
+    """Counts live Tetra value-heap cells against ``memory_limit``.
+
+    A *cell* is one element of a container the program allocates: an array
+    or dict element, a tuple item, an object field.  Primitives ride inside
+    cells and are not counted separately.  Each tracked container carries a
+    weakref finalizer that returns its cells when the container dies, so
+    the meter follows the live heap, not cumulative allocation.
+    """
+
+    __slots__ = ("limit", "live", "peak", "_mu")
+
+    def __init__(self, limit: int):
+        self.limit = int(limit)
+        self.live = 0
+        self.peak = 0
+        self._mu = threading.Lock()
+
+    def track(self, container, cells: int, span: Span = NO_SPAN) -> None:
+        """Charge ``cells`` for a freshly allocated container (min 1)."""
+        cells = max(1, int(cells))
+        with self._mu:
+            self.live += cells
+            if self.live > self.peak:
+                self.peak = self.live
+            over = self.live > self.limit
+        weakref.finalize(container, self._free, cells)
+        if over:
+            raise TetraLimitError(
+                f"the program exceeded its memory budget of {self.limit} "
+                f"value cells (live: {self.live}) — raise it with "
+                "--memory-limit or RuntimeConfig(memory_limit=...)",
+                span,
+                limit="memory",
+            )
+
+    def _free(self, cells: int) -> None:
+        with self._mu:
+            self.live -= cells
+
+    def track_value(self, value, span: Span = NO_SPAN) -> None:
+        """Charge for a container a *builtin* returned (the literal and
+        constructor sites know their cell counts; builtins like
+        ``array_of`` or ``concat`` are charged here by inspection)."""
+        from ..runtime.values import (
+            TetraArray,
+            TetraDict,
+            TetraObject,
+            TetraTuple,
+        )
+
+        if isinstance(value, (TetraArray, TetraTuple, TetraDict)):
+            self.track(value, len(value.items), span)
+        elif isinstance(value, TetraObject):
+            self.track(value, len(value.fields), span)
+
+
+class ExecutionGuard:
+    """Per-run guard bound into the statement prologue when any of
+    ``time_limit`` / ``cancel`` / thread-backend chaos is configured."""
+
+    __slots__ = ("token", "time_limit", "virtual", "_now", "_deadline",
+                 "_preempt")
+
+    def __init__(self, backend, config):
+        self.token = config.cancel
+        self.time_limit = config.time_limit
+        self.virtual = backend.virtual_clock
+        self._now = backend.now
+        self._deadline: float | None = None
+        plan = config.fault_plan
+        # Preemption jitter only makes sense where a real OS scheduler can
+        # exploit it; the deterministic backends get their chaos from the
+        # schedule seed and spawn shuffling instead.
+        self._preempt = plan if (plan is not None
+                                 and backend.name == "thread") else None
+
+    @property
+    def active(self) -> bool:
+        """True when the statement-boundary check does anything at all."""
+        return (self.token is not None or bool(self.time_limit)
+                or self._preempt is not None)
+
+    def start(self) -> None:
+        """Arm the deadline at program start (backend clocks may not start
+        at zero, so the guard reads its own origin)."""
+        if self.time_limit:
+            self._deadline = self._now() + self.time_limit
+
+    def check(self, ctx, span: Span) -> None:
+        """The statement-boundary check: cancel, deadline, chaos preempt."""
+        token = self.token
+        if token is not None and token.cancelled:
+            raise TetraCancelledError(
+                f"the run was cancelled — {token.reason}", span
+            )
+        deadline = self._deadline
+        if deadline is not None and self._now() > deadline:
+            units = "virtual time units" if self.virtual else "seconds"
+            limit = self.time_limit
+            shown = f"{limit:g}"
+            raise TetraLimitError(
+                f"the program exceeded its time limit of {shown} {units} — "
+                "raise it with --time-limit or RuntimeConfig(time_limit=...)",
+                span,
+                limit="time",
+            )
+        preempt = self._preempt
+        if preempt is not None:
+            preempt.maybe_preempt(ctx)

@@ -1,0 +1,174 @@
+"""``tetra stress`` — shake a program across many seeds and backends.
+
+One quiet run tells a student almost nothing about a parallel program:
+the bug they shipped needs an *unlucky schedule*.  The stress harness
+manufactures unlucky schedules on purpose.  For every ``(backend, seed)``
+cell it runs the program once under a seeded
+:class:`~repro.resilience.FaultPlan` (plus the race detector), then
+compares outputs across the whole matrix:
+
+* **divergent output** — the program printed different things under
+  different schedules, the clearest possible evidence of a race;
+* **deadlock** — a seed found a lock-ordering cycle;
+* **races** — the dynamic detector flagged unsynchronized shared access;
+* **limit / error** — a seed drove the program into a guardrail or crash.
+
+On the deterministic backends (coop, sim) each cell is an exact function
+of its seed: re-running ``tetra stress --seeds N --backends coop`` with
+the same seeds reproduces the same findings byte for byte, so a failing
+seed is a *repro recipe*, not a flake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StressOutcome:
+    """One (backend, seed) cell of the stress matrix."""
+
+    backend: str
+    seed: int
+    output: str = ""
+    #: "ok", "deadlock", "cancelled", "time", "memory", "steps",
+    #: "recursion", or "error".
+    status: str = "ok"
+    races: int = 0
+    faults_injected: int = 0
+    error: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return self.status == "ok" and self.races == 0
+
+
+@dataclass
+class StressReport:
+    """Everything ``run_stress`` learned, plus a findings summary."""
+
+    name: str
+    outcomes: list[StressOutcome] = field(default_factory=list)
+    #: Distinct outputs produced by runs that completed, with the cells
+    #: that produced each (insertion-ordered: first seen first).
+    output_groups: dict[str, list[StressOutcome]] = field(default_factory=dict)
+
+    # -- findings ------------------------------------------------------
+    @property
+    def divergent(self) -> bool:
+        return len(self.output_groups) > 1
+
+    @property
+    def deadlocks(self) -> list[StressOutcome]:
+        return [o for o in self.outcomes if o.status == "deadlock"]
+
+    @property
+    def race_hits(self) -> list[StressOutcome]:
+        return [o for o in self.outcomes if o.races > 0]
+
+    @property
+    def errors(self) -> list[StressOutcome]:
+        return [o for o in self.outcomes
+                if o.status not in ("ok", "deadlock")]
+
+    @property
+    def findings(self) -> int:
+        """Count of distinct problem classes observed (0 = clean)."""
+        return ((1 if self.divergent else 0)
+                + (1 if self.deadlocks else 0)
+                + (1 if self.race_hits else 0)
+                + (1 if self.errors else 0))
+
+    def render(self) -> str:
+        """Human-readable report for the CLI."""
+        lines = [f"stress: {self.name} — {len(self.outcomes)} runs"]
+        header = f"  {'backend':<12} {'seed':>6}  {'status':<10} " \
+                 f"{'races':>5} {'faults':>6}"
+        lines.append(header)
+        for o in self.outcomes:
+            lines.append(
+                f"  {o.backend:<12} {o.seed:>6}  {o.status:<10} "
+                f"{o.races:>5} {o.faults_injected:>6}"
+            )
+        lines.append("")
+        if self.divergent:
+            lines.append(
+                f"FINDING: divergent output — {len(self.output_groups)} "
+                "distinct outputs across schedules:"
+            )
+            for i, (text, cells) in enumerate(self.output_groups.items(), 1):
+                who = ", ".join(f"{c.backend}/{c.seed}" for c in cells[:4])
+                extra = len(cells) - 4
+                if extra > 0:
+                    who += f" (+{extra} more)"
+                shown = text.rstrip("\n") or "<no output>"
+                if len(shown) > 120:
+                    shown = shown[:117] + "..."
+                shown = shown.replace("\n", " | ")
+                lines.append(f"  output {i} [{who}]: {shown}")
+        if self.deadlocks:
+            cells = ", ".join(f"{o.backend}/{o.seed}" for o in self.deadlocks)
+            lines.append(f"FINDING: deadlock in {len(self.deadlocks)} "
+                         f"run(s): {cells}")
+        if self.race_hits:
+            cells = ", ".join(f"{o.backend}/{o.seed}" for o in self.race_hits)
+            lines.append(f"FINDING: data races in {len(self.race_hits)} "
+                         f"run(s): {cells}")
+        if self.errors:
+            for o in self.errors:
+                first = o.error.splitlines()[0] if o.error else o.status
+                lines.append(
+                    f"FINDING: {o.backend}/{o.seed} failed ({o.status}): "
+                    f"{first}"
+                )
+        if self.findings == 0:
+            lines.append("no findings: stable output, no races, "
+                         "no deadlocks")
+        return "\n".join(lines)
+
+
+def run_stress(text: str, *, name: str = "<string>",
+               seeds: int = 10, first_seed: int = 0,
+               backends: tuple[str, ...] = ("thread", "coop"),
+               detect_races: bool = True,
+               time_limit: float = 0.0,
+               inputs: list[str] | None = None,
+               entry: str = "main") -> StressReport:
+    """Run ``text`` across ``seeds`` chaos seeds on each backend.
+
+    Every cell uses ``chaos_seed = first_seed + i`` and (by default) the
+    race detector; a per-run ``time_limit`` guards against seeds that
+    drive the program into a livelock.  Nothing raises: each cell's fate
+    lands in its :class:`StressOutcome`.
+    """
+    from ..api import run_source
+
+    report = StressReport(name)
+    for backend in backends:
+        for i in range(seeds):
+            seed = first_seed + i
+            limit = time_limit
+            if not limit:
+                # Virtual clocks need a virtual budget; hosts get seconds.
+                limit = 200_000.0 if backend in ("coop", "sim") else 10.0
+            result = run_source(
+                text, inputs=list(inputs or []), backend=backend,
+                name=name, entry=entry, detect_races=detect_races,
+                chaos_seed=seed, time_limit=limit, on_error="return",
+            )
+            outcome = StressOutcome(
+                backend=backend, seed=seed, output=result.output,
+                status=result.aborted_by or "ok",
+                races=len(result.races),
+                faults_injected=sum(result.fault_counts.values()),
+            )
+            if result.error is not None:
+                outcome.error = str(
+                    getattr(result.error, "message", result.error)
+                )
+            report.outcomes.append(outcome)
+            if outcome.status == "ok":
+                report.output_groups.setdefault(
+                    outcome.output, []
+                ).append(outcome)
+    return report

@@ -24,7 +24,13 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..errors import TetraDeadlockError, TetraError, TetraThreadError
+from ..errors import (
+    TetraCancelledError,
+    TetraDeadlockError,
+    TetraError,
+    TetraLimitError,
+    TetraThreadError,
+)
 from ..source import NO_SPAN, Span
 from ..stdlib.builtin_time import monotonic_clock
 from .cost import DEFAULT_COST_MODEL, CostModel
@@ -40,8 +46,9 @@ def raise_thread_failures(failures: Sequence[tuple[str, BaseException]],
     A single Tetra diagnostic is re-raised as itself (its span and phase are
     already the best report).  Several failures are aggregated into one
     :class:`TetraThreadError` naming every failed thread — except when all
-    of them are deadlock reports, which describe the same cycle and would
-    only repeat each other.
+    of them describe the same run-wide abort (the same deadlock cycle, the
+    same tripped limit, the same cancellation), where repeating the report
+    once per thread would only bury it.
     """
     if not failures:
         return
@@ -52,8 +59,10 @@ def raise_thread_failures(failures: Sequence[tuple[str, BaseException]],
         raise TetraThreadError(
             f"{label} failed with {type(exc).__name__}: {exc}", span
         ) from exc
-    if all(isinstance(exc, TetraDeadlockError) for _, exc in failures):
-        raise failures[0][1]
+    for run_wide in (TetraDeadlockError, TetraLimitError,
+                     TetraCancelledError):
+        if all(isinstance(exc, run_wide) for _, exc in failures):
+            raise failures[0][1]
     details = "; ".join(
         f"{label} failed with {type(exc).__name__}: {exc}"
         for label, exc in failures
@@ -93,10 +102,30 @@ class RuntimeConfig:
     #: Count statement executions (and, on sim, charged cost units) per
     #: source line — ``tetra run --profile``.
     profile: bool = False
+    #: Abort the run after this much time (0 = unlimited).  Measured on the
+    #: backend's own clock: monotonic host seconds on thread/sequential,
+    #: deterministic virtual units on sim/coop (the PR-3 clock contract).
+    time_limit: float = 0.0
+    #: Abort when the live value heap exceeds this many container cells
+    #: (array/dict elements, tuple items, object fields; 0 = unlimited).
+    memory_limit: int = 0
+    #: Cooperative cancellation token (SIGINT, IDE stop button, watchdogs).
+    #: Checked at every statement boundary when set.
+    cancel: object = None
+    #: A seeded :class:`repro.resilience.FaultPlan` for chaos testing, or
+    #: None.  Usually built from :attr:`chaos_seed`.
+    fault_plan: object = None
+    #: Convenience: a bare seed builds a default FaultPlan (the CLI's
+    #: ``--chaos SEED``).
+    chaos_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.chunking not in ("block", "cyclic"):
             raise ValueError("chunking must be 'block' or 'cyclic'")
+        if self.chaos_seed is not None and self.fault_plan is None:
+            from ..resilience.faults import FaultPlan
+
+            self.fault_plan = FaultPlan(self.chaos_seed)
 
 
 class Backend:
@@ -224,6 +253,10 @@ class ThreadBackend(Backend):
 
     def lock(self, ctx, name: str, body: Callable[[], None],
              span: Span = NO_SPAN) -> None:
+        plan = self.config.fault_plan
+        if plan is not None:
+            # Chaos: widen the race window in front of the critical section.
+            plan.lock_delay(ctx, name)
         obs = self.obs
         if obs is None:
             self.locks.acquire(name, ctx.id, span)
@@ -244,6 +277,9 @@ class ThreadBackend(Backend):
 
     def start_program(self, root_ctx) -> None:
         self.locks.register_thread(root_ctx.id, root_ctx.label)
+        # Blocked acquires poll the token so cancellation reaches threads
+        # that are waiting on a lock, not just ones executing statements.
+        self.locks.cancel = self.config.cancel
 
     def finish_program(self, root_ctx) -> None:
         if not self.config.wait_for_background:
@@ -280,6 +316,9 @@ class SequentialBackend(Backend):
         # Run every child even after one fails, then aggregate — the same
         # report a real parallel group produces on the thread backend (a
         # raw child exception used to escape here with no span or label).
+        plan = self.config.fault_plan
+        if plan is not None:
+            jobs = plan.perturb_jobs(list(jobs))
         failures: list[tuple[str, BaseException]] = []
         for child_ctx, thunk in jobs:
             try:

@@ -34,7 +34,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..errors import TetraDeadlockError, TetraError, TetraThreadError
+from ..errors import (
+    TetraDeadlockError,
+    TetraError,
+    TetraInternalError,
+    TetraThreadError,
+)
 from ..source import NO_SPAN, Span
 from .backend import Backend, Job, RuntimeConfig, raise_thread_failures
 
@@ -251,10 +256,15 @@ class CoopScheduler:
             next((t.current_span for t in live
                   if t.current_span is not NO_SPAN), NO_SPAN),
         )
+        blocked_spans = tuple(
+            t.current_span for t in live
+            if t.state == BLOCKED_LOCK and t.current_span is not NO_SPAN
+        )
         self.abort_exc = TetraDeadlockError(
             "deadlock detected — every thread is blocked: " + "; ".join(parts),
             span,
             cycle=tuple(parts),
+            blocked_spans=blocked_spans,
         )
         self.cv.notify_all()
 
@@ -371,7 +381,26 @@ class CoopScheduler:
                 timeout=timeout,
             )
             if not ok:  # pragma: no cover - only on interpreter bugs
-                raise TetraThreadError("cooperative scheduler failed to pause")
+                # A bare timeout here used to surface as an unexplained
+                # assertion in the debugger; name the stuck thread, its
+                # state, and how far the schedule got so the report is
+                # actionable.
+                holder = self.turn_holder
+                if holder is not None:
+                    record = self.threads.get(holder)
+                    who = (f"{record.label} (state: {record.state})"
+                           if record is not None else f"thread id {holder}")
+                else:
+                    who = "no thread (turn unassigned)"
+                states = ", ".join(
+                    f"{t.label}={t.state}" for t in self.threads.values()
+                )
+                turns = sum(self.statements_run.values())
+                raise TetraInternalError(
+                    f"cooperative scheduler failed to pause within {timeout}s "
+                    f"— turn held by {who}; after {turns} scheduler turns; "
+                    f"thread states: {states or 'none registered'}"
+                )
 
     def grant(self, thread_id: int, steps: int = 1) -> None:
         """Let ``thread_id`` run ``steps`` turns (manual mode)."""
@@ -403,7 +432,15 @@ class CoopBackend(Backend):
     def __init__(self, policy: SchedulerPolicy | None = None,
                  config: RuntimeConfig | None = None):
         super().__init__(config)
-        self.scheduler = CoopScheduler(policy or RoundRobinPolicy())
+        if policy is None:
+            plan = self.config.fault_plan
+            if plan is not None:
+                # Chaos on the coop backend *is* the schedule: one seed =
+                # one exact, replayable interleaving.
+                policy = RandomPolicy(plan.schedule_seed())
+            else:
+                policy = RoundRobinPolicy()
+        self.scheduler = CoopScheduler(policy)
         self._background: list[threading.Thread] = []
         self._background_ctxs: list[object] = []
         #: Thread id → interpreter ThreadContext; the debugger reads call

@@ -28,7 +28,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from ..errors import TetraDeadlockError
+from ..errors import TetraCancelledError, TetraDeadlockError
 from ..source import NO_SPAN, Span
 
 #: Identifies a Tetra thread in the wait-for graph.  Thread backends use the
@@ -62,6 +62,16 @@ class LockTable:
         self._owners: dict[str, ThreadKey] = {}
         self._owner_labels: dict[ThreadKey, str] = {}
         self._waiting: dict[ThreadKey, str] = {}
+        #: Source span of each blocked ``lock`` statement, so a deadlock
+        #: report can point at *every* participant, not just the thread
+        #: that happened to close the cycle.
+        self._waiting_spans: dict[ThreadKey, Span] = {}
+        #: Instance copy of the safety-net poll, taken at construction so a
+        #: single table (or test) can tune it without touching the class.
+        self.fallback_poll: float = self.FALLBACK_POLL
+        #: Optional CancelToken; blocked acquires observe it so Ctrl-C
+        #: reaches threads that are parked on a lock.
+        self.cancel = None
         self.stats: dict[str, LockStats] = {}
 
     # ------------------------------------------------------------------
@@ -98,25 +108,45 @@ class LockTable:
                 stats.contended_acquisitions += 1
             stats.acquisitions += 1
             self._waiting[key] = name
+            self._waiting_spans[key] = span
             wait_started = None
             try:
                 while self._owners.get(name) is not None:
                     if wait_started is None:
                         wait_started = time.perf_counter()
+                    cancel = self.cancel
+                    if cancel is not None and cancel.cancelled:
+                        raise TetraCancelledError(
+                            f"the run was cancelled while {self._label(key)} "
+                            f"waited for 'lock {name}:' — {cancel.reason}",
+                            span,
+                        )
                     # Checked at block time — the thread that closes a cycle
                     # always sees it here — and again on every wakeup.
-                    cycle = self._find_cycle(key)
+                    cycle, blocked = self._find_cycle(key)
                     if cycle:
                         raise TetraDeadlockError(
                             self._cycle_message(cycle), span,
                             cycle=tuple(cycle),
+                            blocked_spans=tuple(blocked),
                         )
-                    self._changed.wait(timeout=self.FALLBACK_POLL)
+                    # Re-check the wake condition under the monitor right
+                    # before sleeping: if the owner released during the
+                    # cycle walk we must not park and eat a full fallback
+                    # poll waiting for a notify that already happened.
+                    if self._owners.get(name) is None:
+                        continue
+                    timeout = self.fallback_poll
+                    if cancel is not None:
+                        # Bound cancellation latency for parked threads.
+                        timeout = min(timeout, 0.05)
+                    self._changed.wait(timeout=timeout)
                 self._owners[name] = key
             finally:
                 if wait_started is not None:
                     stats.wait_time += time.perf_counter() - wait_started
                 self._waiting.pop(key, None)
+                self._waiting_spans.pop(key, None)
 
     def release(self, name: str, key: ThreadKey) -> None:
         with self._changed:
@@ -130,25 +160,33 @@ class LockTable:
             self._changed.notify_all()
 
     # ------------------------------------------------------------------
-    def _find_cycle(self, start: ThreadKey) -> list[str] | None:
+    def _find_cycle(
+        self, start: ThreadKey
+    ) -> tuple[list[str] | None, list[Span]]:
         """Walk thread→lock→owner edges from ``start`` (monitor held);
-        return a readable cycle description if it loops back."""
+        return a readable cycle description plus the source span of every
+        blocked ``lock`` statement in it, if the walk loops back."""
         path: list[str] = []
+        spans: list[Span] = []
         current = start
         visited: set = set()
         while True:
             lock_name = self._waiting.get(current)
             if lock_name is None:
-                return None
+                return None, []
             path.append(f"{self._label(current)} waits for 'lock {lock_name}'")
+            blocked_at = self._waiting_spans.get(current, NO_SPAN)
+            if blocked_at is not NO_SPAN:
+                spans.append(blocked_at)
             owner = self._owners.get(lock_name)
             if owner is None:
-                return None
+                return None, []
             path.append(f"'lock {lock_name}' is held by {self._label(owner)}")
             if owner == start:
-                return path
+                return path, spans
             if owner in visited:
-                return None  # a cycle not involving us; its members report it
+                # A cycle not involving us; its members report it.
+                return None, []
             visited.add(owner)
             current = owner
 

@@ -56,6 +56,11 @@ class SimBackend(Backend):
 
     def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
                     span: Span = NO_SPAN) -> None:
+        plan = self.config.fault_plan
+        if plan is not None:
+            # Seeded shuffle of the children: a deterministic way to flip
+            # order-dependent results under `tetra stress`.
+            jobs = plan.perturb_jobs(list(jobs))
         cm = self.cost_model
         self.recorder.charge(cm.thread_spawn * len(jobs))
         children = self.recorder.begin_fork(

@@ -42,7 +42,9 @@ class TetraArray:
     coercion of int values into real arrays.
     """
 
-    __slots__ = ("items", "element_type")
+    # __weakref__ lets the resilience HeapMeter attach a finalizer without
+    # giving up the slotted layout (same for the other containers below).
+    __slots__ = ("items", "element_type", "__weakref__")
 
     def __init__(self, items: Iterable[Value], element_type: Type):
         self.items: list[Value] = list(items)
@@ -87,7 +89,7 @@ class TetraArray:
 class TetraTuple:
     """An immutable fixed-arity tuple value."""
 
-    __slots__ = ("items",)
+    __slots__ = ("items", "__weakref__")
 
     def __init__(self, items):
         self.items: tuple = tuple(items)
@@ -124,7 +126,8 @@ class TetraObject:
     ``field_types`` drives int→real widening on stores.
     """
 
-    __slots__ = ("class_name", "fields", "field_types", "field_order")
+    __slots__ = ("class_name", "fields", "field_types", "field_order",
+                 "__weakref__")
 
     def __init__(self, class_name: str, fields: dict,
                  field_types: dict, field_order: list):
@@ -169,7 +172,7 @@ class TetraDict:
     language (and for this repository's differential tests).
     """
 
-    __slots__ = ("items", "key_type", "value_type")
+    __slots__ = ("items", "key_type", "value_type", "__weakref__")
 
     def __init__(self, items: dict, key_type: Type, value_type: Type):
         self.items: dict = dict(items)

@@ -47,6 +47,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         import os
 
         workers = max(2, os.cpu_count() or 2)
+    from ..errors import EXIT_RACES, exit_code_for
+    from ..resilience import CancelToken, install_sigint
+
+    token = CancelToken()
     config = RuntimeConfig(
         num_workers=workers,
         chunking=args.chunking,
@@ -54,6 +58,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         trace=args.trace is not None,
         metrics=args.metrics,
         profile=args.profile,
+        step_limit=args.step_limit,
+        time_limit=args.time_limit,
+        memory_limit=args.memory_limit,
+        cancel=token,
+        chaos_seed=args.chaos,
     )
     interp = None
     code = 0
@@ -64,16 +73,26 @@ def cmd_run(args: argparse.Namespace) -> int:
                                          cache=not args.no_cache)
         backend = BACKEND_FACTORIES[args.backend](config=config)
         interp = Interpreter(program, source, backend=backend)
-        interp.run()
+        # Ctrl-C cancels the token; the program unwinds through the normal
+        # error path, so the partial race/metrics reports below still print.
+        with install_sigint(token):
+            interp.run()
     except TetraError as exc:
         print(exc.attach_source(source).render(), file=sys.stderr)
-        code = 1
+        code = exit_code_for(exc)
+    if args.chaos is not None and config.fault_plan is not None:
+        plan = config.fault_plan
+        summary = ", ".join(f"{kind}: {n}"
+                            for kind, n in sorted(plan.counts.items()))
+        print(f"chaos seed {plan.seed} injected {plan.total_injected} "
+              f"fault(s){' — ' + summary if summary else ''}",
+              file=sys.stderr)
     if args.detect_races and interp is not None:
         from ..analysis import render_race_panel
 
         print(render_race_panel(interp.races, source), file=sys.stderr)
         if interp.races and code == 0:
-            code = 3
+            code = EXIT_RACES
     # The observability reports are printed even when the run errored —
     # a partial trace of a crashed program is exactly what one debugs with.
     obs = interp._obs if interp is not None else None
@@ -248,6 +267,38 @@ def cmd_fmt(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stress(args: argparse.Namespace) -> int:
+    """Run the seeded chaos matrix and print the findings report."""
+    source = _read(args.file)
+    from ..errors import EXIT_DEADLOCK, EXIT_RACES
+    from ..resilience import run_stress
+
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    unknown = [b for b in backends if b not in BACKEND_FACTORIES]
+    if unknown:
+        print(f"tetra: unknown backend(s) {', '.join(unknown)}; pick from "
+              f"{', '.join(sorted(BACKEND_FACTORIES))}", file=sys.stderr)
+        return 2
+    try:
+        report = run_stress(
+            source.text, name=args.file, seeds=args.seeds,
+            first_seed=args.first_seed, backends=backends,
+            detect_races=not args.no_races, time_limit=args.time_limit,
+        )
+    except TetraError as exc:
+        # Compile-time failures (syntax/type errors) abort the whole matrix.
+        print(exc.attach_source(source).render(), file=sys.stderr)
+        return 1
+    print(report.render())
+    if report.deadlocks:
+        return EXIT_DEADLOCK
+    if report.divergent or report.race_hits:
+        return EXIT_RACES
+    if report.errors:
+        return 1
+    return 0
+
+
 def cmd_repl(args: argparse.Namespace) -> int:
     from .repl import repl_main
 
@@ -300,6 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the hottest source lines by charged cost "
                           "units (statement counts on non-accounting "
                           "backends)")
+    run.add_argument("--step-limit", type=int, default=0, metavar="N",
+                     help="abort after N interpreted statements (exit 4)")
+    run.add_argument("--time-limit", type=float, default=0.0, metavar="T",
+                     help="abort after T units of the backend's clock: "
+                          "seconds on thread/sequential, virtual units on "
+                          "sim/coop (exit 4)")
+    run.add_argument("--memory-limit", type=int, default=0, metavar="CELLS",
+                     help="abort when more than CELLS value-heap cells "
+                          "(array/dict/tuple elements, object fields) are "
+                          "live at once (exit 4)")
+    run.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                     help="run under a seeded fault-injection plan: "
+                          "preemption jitter and lock delays on the thread "
+                          "backend, seeded schedules on coop/sim")
     run.set_defaults(func=cmd_run)
 
     check = sub.add_parser("check", help="type-check without running")
@@ -358,6 +423,26 @@ def build_parser() -> argparse.ArgumentParser:
     fmt.add_argument("-w", "--write", action="store_true",
                      help="rewrite the file in place")
     fmt.set_defaults(func=cmd_fmt)
+
+    stress = sub.add_parser(
+        "stress",
+        help="shake a program across many chaos seeds and backends, "
+             "reporting divergent outputs, deadlocks, and races",
+    )
+    stress.add_argument("file")
+    stress.add_argument("--seeds", type=int, default=10, metavar="N",
+                        help="chaos seeds per backend (default 10)")
+    stress.add_argument("--first-seed", type=int, default=0, metavar="S",
+                        help="first seed value (default 0)")
+    stress.add_argument("--backends", default="thread,coop",
+                        help="comma list of backends to stress "
+                             "(default thread,coop)")
+    stress.add_argument("--no-races", action="store_true",
+                        help="skip the dynamic race detector (faster)")
+    stress.add_argument("--time-limit", type=float, default=0.0, metavar="T",
+                        help="per-run time limit on the backend clock "
+                             "(default: 10s host / 200000 virtual units)")
+    stress.set_defaults(func=cmd_stress)
 
     repl = sub.add_parser("repl", help="interactive Tetra session")
     repl.set_defaults(func=cmd_repl)
