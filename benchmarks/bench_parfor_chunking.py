@@ -1,7 +1,7 @@
-"""Ablation: ``parallel for`` iteration assignment (block vs cyclic).
+"""Ablation: ``parallel for`` iteration assignment (block/cyclic/dynamic).
 
-Neither policy dominates — the winner depends on how iteration cost varies
-across the index space, and this ablation shows both directions:
+No single policy dominates — the winner depends on how iteration cost
+varies across the index space, and this ablation shows all directions:
 
 * **Triangular workload** (cost grows smoothly with the index): block
   chunking concentrates the expensive tail in the last worker; cyclic
@@ -10,6 +10,10 @@ across the index space, and this ablation shows both directions:
   exit immediately), and a cyclic stride of 8 aliases with parity — the
   even-offset workers get only cheap composites while odd-offset workers
   get every expensive prime.  Block chunks mix parities and win.
+* **Skewed workload** (a handful of iterations in the tail dominate the
+  total cost): block hands the whole expensive tail to the last worker;
+  ``dynamic`` — guided decreasing chunk sizes, so the tail is split into
+  many small pieces spread across workers — balances it.
 
 A lesson the paper's classroom setting would care about: data-dependent
 iteration costs interact with the assignment stride.
@@ -40,6 +44,28 @@ TRIANGULAR = textwrap.dedent("""
         print(sum(results))
 """)
 
+# Cost is negligible for the first ~5/6 of the index space, then explodes
+# quadratically in the tail — the adversarial case for static block
+# assignment (the last worker inherits nearly all the work).
+SKEWED = textwrap.dedent("""
+    def weigh(n int) int:
+        t = 0
+        j = 0
+        while j < n:
+            t += j
+            j += 1
+        return t
+
+    def main():
+        results = array(97, 0)
+        parallel for i in [1 ... 96]:
+            if i > 80:
+                results[i] = weigh((i - 80) * (i - 80))
+            else:
+                results[i] = i
+        print(sum(results))
+""")
+
 
 def spread_and_speedup(backend):
     workers = [t for t in backend.trace.walk() if t is not backend.trace]
@@ -52,15 +78,15 @@ def spread_and_speedup(backend):
 
 @pytest.fixture(scope="module")
 def traces():
+    sources = {
+        "primes": primes_source(PRIMES_LIMIT),
+        "triangular": TRIANGULAR,
+        "skewed": SKEWED,
+    }
     return {
-        ("primes", "block"): record_trace(primes_source(PRIMES_LIMIT),
-                                          cores=8, chunking="block"),
-        ("primes", "cyclic"): record_trace(primes_source(PRIMES_LIMIT),
-                                           cores=8, chunking="cyclic"),
-        ("triangular", "block"): record_trace(TRIANGULAR, cores=8,
-                                              chunking="block"),
-        ("triangular", "cyclic"): record_trace(TRIANGULAR, cores=8,
-                                               chunking="cyclic"),
+        (workload, chunking): record_trace(src, cores=8, chunking=chunking)
+        for workload, src in sources.items()
+        for chunking in ("block", "cyclic", "dynamic")
     }
 
 
@@ -70,11 +96,11 @@ def test_chunking_correctness(benchmark, traces):
 
     def collect():
         results = []
-        for src in (primes_source(PRIMES_LIMIT), TRIANGULAR):
+        for src in (primes_source(PRIMES_LIMIT), TRIANGULAR, SKEWED):
             outs = {
                 run_source(src, backend="sequential",
                            config=RuntimeConfig(chunking=c)).output
-                for c in ("block", "cyclic")
+                for c in ("block", "cyclic", "dynamic")
             }
             assert len(outs) == 1, "chunking changed the answer"
             results.append(outs.pop())
@@ -99,14 +125,20 @@ def test_chunking_ablation(benchmark, traces, report):
         ),
         "triangular cost ramps with the index -> cyclic balances it;",
         "trial division costs alias with parity -> a cyclic stride of 8 "
-        "sends all cheap even candidates to the same workers and loses.",
+        "sends all cheap even candidates to the same workers and loses;",
+        "skewed tail spikes -> block strands the tail in one worker, "
+        "dynamic's guided chunks split it finely and win.",
     ])
-    # Opposite winners on the two workloads.
+    # Opposite winners on the two classic workloads.
     assert stats[("triangular", "cyclic")][1] > stats[("triangular", "block")][1]
     assert stats[("primes", "block")][1] > stats[("primes", "cyclic")][1]
     # And the speedup gap is explained by the balance gap.
     assert stats[("triangular", "cyclic")][0] < stats[("triangular", "block")][0]
     assert stats[("primes", "block")][0] < stats[("primes", "cyclic")][0]
+    # The skewed tail is the dynamic policy's home turf: guided chunks
+    # both beat block's stranded tail and improve its balance.
+    assert stats[("skewed", "dynamic")][1] > stats[("skewed", "block")][1]
+    assert stats[("skewed", "dynamic")][0] < stats[("skewed", "block")][0]
 
 
 def test_recording_cost_cyclic(benchmark):

@@ -2,12 +2,21 @@
 primes ... achieves approximately 5X speedup when run on 8 cores which is a
 62.5% efficiency rate."
 
-Regenerated here on the virtual-time machine model (DESIGN.md §2/§4): the
-same Tetra program runs through the same interpreter; the recorded task
-graph is scheduled on 1/2/4/8 model cores and speedup/efficiency reported
-against the 1-core run.  Problem size is scaled down (see
-benchmarks/workloads.py); the shape — near-linear at 2 cores, ≈5× at 8,
-efficiency around 60% — is the reproduced claim.
+Regenerated here two ways:
+
+* On the virtual-time machine model (DESIGN.md §2/§4, the pytest half of
+  this module): the same Tetra program runs through the same interpreter;
+  the recorded task graph is scheduled on 1/2/4/8 model cores and
+  speedup/efficiency reported against the 1-core run.  Problem size is
+  scaled down (see benchmarks/workloads.py); the shape — near-linear at 2
+  cores, ≈5× at 8, efficiency around 60% — is the reproduced claim.
+* On **real hardware** via the process-parallel backend (the script half):
+  ``python benchmarks/bench_speedup_primes.py --smoke --json
+  BENCH_parallel_speedup.json`` times the primes program sequential vs
+  ``--backend proc`` at 2 and 4 workers in *wall-clock seconds* — the
+  paper's actual experiment, which the GIL denies to the thread backend.
+  The JSON records the machine's core count alongside the speedups: the
+  ≥3× target at 4 workers is only reachable with ≥4 real cores.
 """
 
 import pytest
@@ -85,3 +94,105 @@ def test_primes_trace_shape(benchmark, primes_backend, report):
     ])
     assert trace.task_count() == 9
     assert trace.max_parallelism() == 8
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: real multicore wall-clock speedup via the proc backend
+# ----------------------------------------------------------------------
+#: Wall-clock speedup the proc backend must reach at 4 workers on a
+#: machine with >= 4 cores (the PR's acceptance target; the paper reports
+#: ~5x at 8 cores for the same workload).
+MIN_PROC_SPEEDUP_4W = 3.0
+
+#: Problem sizes chosen so pool startup + serialization is a few percent
+#: of the run (~0.5 s sequential for the full size on one core).
+PROC_LIMIT_FULL = 30_000
+PROC_LIMIT_SMOKE = 10_000
+
+
+def _time_run(source, backend, jobs, repeats):
+    """Best-of-N wall-clock seconds (and the output, for verification)."""
+    import time as _time
+
+    from repro.api import run_source
+    from repro.runtime import RuntimeConfig
+
+    best = None
+    output = None
+    for _ in range(repeats):
+        config = RuntimeConfig(num_workers=jobs) if jobs else None
+        t0 = _time.perf_counter()
+        result = run_source(source, backend=backend, config=config)
+        elapsed = _time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+        output = result.output
+    return best, output
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import os
+
+    parser = argparse.ArgumentParser(
+        description="real-hardware primes speedup: sequential vs proc",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller workload, single repetition (CI)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the measurements as JSON")
+    parser.add_argument("--jobs", default="2,4",
+                        help="comma list of proc worker counts (default 2,4)")
+    args = parser.parse_args(argv)
+
+    limit = PROC_LIMIT_SMOKE if args.smoke else PROC_LIMIT_FULL
+    repeats = 1 if args.smoke else 3
+    job_counts = [int(j) for j in args.jobs.split(",") if j.strip()]
+    cores = os.cpu_count() or 1
+    source = primes_source(limit)
+
+    seq_s, seq_out = _time_run(source, "sequential", None, repeats)
+    print(f"primes up to {limit} on {cores} core(s)")
+    print(f"  sequential: {seq_s * 1000:8.1f} ms")
+    runs = {}
+    for jobs in job_counts:
+        proc_s, proc_out = _time_run(source, "proc", jobs, repeats)
+        assert proc_out == seq_out, "proc output diverged from sequential"
+        speedup = seq_s / proc_s if proc_s > 0 else 0.0
+        runs[jobs] = {"seconds": round(proc_s, 6),
+                      "speedup": round(speedup, 3)}
+        print(f"  proc -j{jobs}:   {proc_s * 1000:8.1f} ms "
+              f"({speedup:.2f}x vs sequential)")
+
+    top_jobs = max(job_counts)
+    target_applies = cores >= top_jobs
+    meets = runs[top_jobs]["speedup"] >= MIN_PROC_SPEEDUP_4W
+    print(f"target: >= {MIN_PROC_SPEEDUP_4W}x at {top_jobs} workers -> "
+          + ("met" if meets else
+         f"not met ({'only ' + str(cores) + ' core(s) available' if not target_applies else 'investigate'})"))
+
+    if args.json:
+        payload = {
+            "benchmark": "parallel_speedup",
+            "workload": f"primes up to {limit}",
+            "mode": "smoke" if args.smoke else "full",
+            "machine_cores": cores,
+            "sequential_seconds": round(seq_s, 6),
+            "proc": {str(j): r for j, r in runs.items()},
+            "target_speedup": MIN_PROC_SPEEDUP_4W,
+            "target_workers": top_jobs,
+            "target_met": meets,
+            "target_applies": target_applies,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    # Only fail when the hardware could actually have delivered the target.
+    if target_applies and not meets and not args.smoke:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

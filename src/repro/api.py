@@ -38,6 +38,7 @@ from .types import ProgramSymbols, check_program, collect_diagnostics
 from .interp import Interpreter
 from .runtime import Backend, RuntimeConfig, SequentialBackend, SimBackend, ThreadBackend
 from .runtime.coop import CoopBackend, RandomPolicy, RoundRobinPolicy, ScriptPolicy
+from .runtime.proc import ProcBackend
 from .stdlib.io import CapturingIO
 
 #: Backend factories selectable by name in :func:`run_source`.
@@ -46,6 +47,7 @@ BACKEND_FACTORIES = {
     "sequential": SequentialBackend,
     "coop": CoopBackend,
     "sim": SimBackend,
+    "proc": ProcBackend,
 }
 
 
@@ -132,18 +134,28 @@ _cache_misses = 0
 
 def cached_program(text: str, name: str = "<string>",
                    entry: str = "main",
-                   cache: bool = True) -> tuple[Program, SourceFile]:
+                   cache: bool = True,
+                   flags: tuple = (False, False)) -> tuple[Program, SourceFile]:
     """:func:`compile_source` behind the LRU program cache.
 
     Only successful compilations are cached — a program with a syntax or
     type error raises every time, with a fresh diagnostic.  Any change to
     the source text changes its hash and misses the cache, so there is no
     explicit invalidation to get wrong.
+
+    ``flags`` folds compile-affecting run modes into the key — by default
+    ``(detect_races, observability)`` both off, the plain-run variant.
+    The race detector and the observability layer bind their hooks into
+    per-node annotations and compiled closures; callers that enable them
+    pass their flag tuple here so an instrumented run never shares a
+    cached tree with an uninstrumented one (each variant gets its own
+    entry).
     """
     global _cache_hits, _cache_misses
     if not cache:
         return compile_source(text, name)
-    key = (hashlib.sha256(text.encode("utf-8")).hexdigest(), name, entry)
+    key = (hashlib.sha256(text.encode("utf-8")).hexdigest(), name, entry,
+           flags)
     with _cache_lock:
         cached = _cache.get(key)
         if cached is not None:
@@ -279,7 +291,14 @@ def run_source(text: str, inputs: list[str] | None = None,
     """
     if on_error not in ("raise", "return"):
         raise ValueError('on_error must be "raise" or "return"')
-    program, source = cached_program(text, name, entry, cache=cache)
+    cfg_races = detect_races or (config is not None and config.detect_races)
+    cfg_obs = (trace or metrics or profile
+               or (config is not None and (config.trace or config.metrics
+                                           or config.profile)))
+    program, source = cached_program(
+        text, name, entry, cache=cache,
+        flags=(bool(cfg_races), bool(cfg_obs)),
+    )
     overrides = {}
     if detect_races:
         overrides["detect_races"] = True

@@ -762,10 +762,14 @@ class _Compiler:
         units = self.cost.loop_iteration
         spawn = interp._spawn_with_race_edges
         obs = self._obs
+        try_offload = backend.try_parallel_for
 
         def run(ctx):
             items = interp._iterate(iterable_fn(ctx), span)
             if not items:
+                return
+            if try_offload is not None and try_offload(interp, s, items,
+                                                       ctx):
                 return
             workers = backend.parallel_for_workers(len(items))
             chunks = interp._partition(items, workers)

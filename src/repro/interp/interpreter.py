@@ -613,6 +613,9 @@ class Interpreter:
         items = self._iterate(self.eval_expr(stmt.iterable, ctx), stmt.span)
         if not items:
             return
+        offload = self.backend.try_parallel_for
+        if offload is not None and offload(self, stmt, items, ctx):
+            return
         workers = self.backend.parallel_for_workers(len(items))
         chunks = self._partition(items, workers)
         cm = self.cost_model
@@ -643,6 +646,21 @@ class Interpreter:
         """Split the iteration space per the configured chunking policy."""
         if self.config.chunking == "cyclic":
             return [items[w::workers] for w in range(workers)]
+        if self.config.chunking == "dynamic":
+            # In-process backends have no shared work queue, so "dynamic"
+            # becomes a deterministic dealt-guided partition: guided
+            # (decreasing) slice sizes dealt round-robin, so each worker
+            # holds a mix of large and small slices — the static analogue
+            # of guided self-scheduling, good for skewed iteration costs.
+            from ..runtime.backend import guided_chunk_sizes
+
+            sizes = guided_chunk_sizes(len(items), workers)
+            chunks = [[] for _ in range(workers)]
+            start = 0
+            for i, size in enumerate(sizes):
+                chunks[i % workers].extend(items[start:start + size])
+                start += size
+            return chunks
         # Block chunking: contiguous ranges, sizes differing by at most one.
         n = len(items)
         base, extra = divmod(n, workers)

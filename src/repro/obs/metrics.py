@@ -75,6 +75,10 @@ class RunMetrics:
     #: Machine-model results (sim backend only): cores, makespan,
     #: serial_makespan, speedup, utilization, lock_wait.
     sim: dict | None = None
+    #: Process-pool results (proc backend only): worker processes started
+    #: (real cores — 0 if no loop was offloaded), machine cores available,
+    #: and (line, reason) for every loop that fell back to threads.
+    proc: dict | None = None
 
     def to_dict(self) -> dict:
         """A JSON-friendly view (tests and ``RunResult`` consumers)."""
@@ -107,6 +111,7 @@ class RunMetrics:
             "total_busy": self.total_busy,
             "estimated_speedup": self.estimated_speedup,
             "sim": dict(self.sim) if self.sim is not None else None,
+            "proc": dict(self.proc) if self.proc is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -158,6 +163,16 @@ class RunMetrics:
                 f"{s['utilization'] * 100:.1f}% utilization, lock wait "
                 f"{s['lock_wait']:.0f} units"
             )
+        if self.proc is not None:
+            p = self.proc
+            lines.append(
+                f"  proc pool          {p['workers']} worker processes "
+                f"({p['machine_cores']} cores on this machine)"
+            )
+            for line_no, reason in p["fallbacks"]:
+                lines.append(
+                    f"    line {line_no}: ran on threads — {reason}"
+                )
         return "\n".join(lines)
 
 
@@ -262,6 +277,16 @@ def collect_metrics(obs, backend) -> RunMetrics:
         elapsed = float(sim["makespan"])
         estimated = sim["speedup"]
 
+    proc = None
+    if getattr(backend, "name", "") == "proc":
+        import os
+
+        proc = {
+            "workers": getattr(backend, "pool_workers", 0),
+            "machine_cores": os.cpu_count() or 1,
+            "fallbacks": list(getattr(backend, "fallbacks", ())),
+        }
+
     return RunMetrics(
         backend=obs.backend_name,
         wall_time_s=wall,
@@ -274,4 +299,5 @@ def collect_metrics(obs, backend) -> RunMetrics:
         total_busy=total_busy,
         estimated_speedup=max(estimated, 0.0),
         sim=sim,
+        proc=proc,
     )

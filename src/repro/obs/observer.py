@@ -108,6 +108,14 @@ class Observer:
 
         return run
 
+    def thread_span(self, ctx_id: int, start: float, end: float) -> None:
+        """Record a thread's lifetime span directly — used by the proc
+        backend, whose workers report their own monotonic stamps (same
+        CLOCK_MONOTONIC domain as the parent on Linux) instead of running
+        a wrapped thunk in this process."""
+        with self._mu:
+            self.thread_spans[ctx_id] = (start, end)
+
     def group_span(self, ctx_id: int, kind: str, start: float, end: float,
                    child_ids: list[int], line: int, join: bool) -> None:
         # Virtual clocks don't advance the spawner while children compute,

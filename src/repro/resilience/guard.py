@@ -101,7 +101,8 @@ class ExecutionGuard:
         # exploit it; the deterministic backends get their chaos from the
         # schedule seed and spawn shuffling instead.
         self._preempt = plan if (plan is not None
-                                 and backend.name == "thread") else None
+                                 and backend.name in ("thread", "proc")) \
+            else None
 
     @property
     def active(self) -> bool:

@@ -129,7 +129,7 @@ class StressReport:
 
 def run_stress(text: str, *, name: str = "<string>",
                seeds: int = 10, first_seed: int = 0,
-               backends: tuple[str, ...] = ("thread", "coop"),
+               backends: tuple[str, ...] = ("thread", "coop", "proc"),
                detect_races: bool = True,
                time_limit: float = 0.0,
                inputs: list[str] | None = None,
@@ -151,9 +151,15 @@ def run_stress(text: str, *, name: str = "<string>",
             if not limit:
                 # Virtual clocks need a virtual budget; hosts get seconds.
                 limit = 200_000.0 if backend in ("coop", "sim") else 10.0
+            # Race detection pins proc runs to the in-process thread path
+            # (per-statement instrumentation can't cross processes), so the
+            # proc column runs without it — its job is shaking the offload,
+            # merge, and chunk-order machinery; races are the thread and
+            # coop columns' job.
+            races = detect_races and backend != "proc"
             result = run_source(
                 text, inputs=list(inputs or []), backend=backend,
-                name=name, entry=entry, detect_races=detect_races,
+                name=name, entry=entry, detect_races=races,
                 chaos_seed=seed, time_limit=limit, on_error="return",
             )
             outcome = StressOutcome(

@@ -1,6 +1,12 @@
 """Tetra's parallel runtime: values, environments, locks, and backends."""
 
-from .backend import Backend, RuntimeConfig, SequentialBackend, ThreadBackend
+from .backend import (
+    Backend,
+    RuntimeConfig,
+    SequentialBackend,
+    ThreadBackend,
+    guided_chunk_sizes,
+)
 from .coop import (
     CoopBackend,
     CoopScheduler,
@@ -14,6 +20,7 @@ from .cost import DEFAULT_COST_MODEL, FREE_PARALLELISM, CostModel
 from .env import Environment, Frame
 from .locks import LockStats, LockTable
 from .machine import Machine, ScheduleResult, speedup_curve
+from .proc import ProcBackend
 from .sim import SimBackend
 from .taskgraph import Access, Acquire, Fork, Release, Task, TraceRecorder, Work
 from .values import (
@@ -33,6 +40,7 @@ from .values import (
 
 __all__ = [
     "Backend", "RuntimeConfig", "SequentialBackend", "ThreadBackend",
+    "ProcBackend", "guided_chunk_sizes",
     "CoopBackend", "CoopScheduler", "ManualPolicy", "RandomPolicy",
     "RoundRobinPolicy", "SchedulerPolicy", "ScriptPolicy",
     "DEFAULT_COST_MODEL", "FREE_PARALLELISM", "CostModel",

@@ -80,7 +80,9 @@ class RuntimeConfig:
     #: (machine cores for threads, model cores for the simulator).
     num_workers: int | None = None
     #: 'block' assigns contiguous iteration ranges; 'cyclic' deals them out
-    #: round-robin (the chunking ablation in DESIGN.md §3).
+    #: round-robin (the chunking ablation in DESIGN.md §3); 'dynamic' uses
+    #: guided decreasing chunk sizes — a work queue on the proc backend, a
+    #: deterministic dealt-guided partition in-process.
     chunking: str = "block"
     #: Wait for ``background`` threads when the program finishes, so program
     #: output is deterministic.  Set False to truly detach them.
@@ -120,12 +122,28 @@ class RuntimeConfig:
     chaos_seed: int | None = None
 
     def __post_init__(self) -> None:
-        if self.chunking not in ("block", "cyclic"):
-            raise ValueError("chunking must be 'block' or 'cyclic'")
+        if self.chunking not in ("block", "cyclic", "dynamic"):
+            raise ValueError(
+                "chunking must be 'block', 'cyclic', or 'dynamic'"
+            )
         if self.chaos_seed is not None and self.fault_plan is None:
             from ..resilience.faults import FaultPlan
 
             self.fault_plan = FaultPlan(self.chaos_seed)
+
+
+def guided_chunk_sizes(n: int, workers: int, min_chunk: int = 1) -> list[int]:
+    """Guided self-scheduling chunk sizes: each next chunk takes
+    ``remaining / (2 * workers)`` iterations, so early chunks are large
+    (low dispatch overhead) and late chunks small (tail load balance)."""
+    sizes: list[int] = []
+    remaining = n
+    while remaining > 0:
+        size = max(min_chunk, remaining // (2 * workers))
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
 
 
 class Backend:
@@ -142,6 +160,12 @@ class Backend:
     #: site guards with one ``None``-check, so disabled runs pay nothing —
     #: the same contract as the race detector.
     obs = None
+    #: Optional hook: ``try_parallel_for(interp, stmt, items, ctx) -> bool``.
+    #: A backend that can execute an entire ``parallel for`` itself (the
+    #: proc backend's multiprocess offload) sets this; both the tree walker
+    #: and the compiled fast path consult it before spawning threads.  A
+    #: False return means "run the loop the normal in-process way".
+    try_parallel_for = None
     name = "abstract"
 
     def __init__(self, config: RuntimeConfig | None = None):

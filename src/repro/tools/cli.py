@@ -69,8 +69,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         from ..api import cached_program
 
-        program, source = cached_program(source.text, args.file,
-                                         cache=not args.no_cache)
+        program, source = cached_program(
+            source.text, args.file, cache=not args.no_cache,
+            flags=(bool(args.detect_races),
+                   bool(args.trace is not None or args.metrics
+                        or args.profile)),
+        )
         backend = BACKEND_FACTORIES[args.backend](config=config)
         interp = Interpreter(program, source, backend=backend)
         # Ctrl-C cancels the token; the program unwinds through the normal
@@ -330,10 +334,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", choices=sorted(BACKEND_FACTORIES),
                      default="thread",
                      help="execution backend (default: thread)")
-    run.add_argument("--workers", type=int, default=None,
-                     help="worker threads for 'parallel for'")
-    run.add_argument("--chunking", choices=["block", "cyclic"],
-                     default="block", help="parallel-for iteration split")
+    run.add_argument("--workers", "--jobs", "-j", type=int, default=None,
+                     dest="workers", metavar="N",
+                     help="worker threads (or processes on --backend proc) "
+                          "for 'parallel for'")
+    run.add_argument("--chunking", choices=["block", "cyclic", "dynamic"],
+                     default="block",
+                     help="parallel-for iteration split; 'dynamic' uses "
+                          "guided decreasing chunks (a work queue on the "
+                          "proc backend)")
     run.add_argument("--detect-races", action="store_true",
                      help="watch shared variables for data races and print "
                           "a report after the run (exit code 3 if any)")
@@ -434,9 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chaos seeds per backend (default 10)")
     stress.add_argument("--first-seed", type=int, default=0, metavar="S",
                         help="first seed value (default 0)")
-    stress.add_argument("--backends", default="thread,coop",
+    stress.add_argument("--backends", default="thread,coop,proc",
                         help="comma list of backends to stress "
-                             "(default thread,coop)")
+                             "(default thread,coop,proc)")
     stress.add_argument("--no-races", action="store_true",
                         help="skip the dynamic race detector (faster)")
     stress.add_argument("--time-limit", type=float, default=0.0, metavar="T",

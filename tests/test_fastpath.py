@@ -132,6 +132,40 @@ class TestProgramCache:
         info = program_cache_info()
         assert info["hits"] == 1 and info["misses"] == 1
 
+    def test_instrumentation_flags_are_part_of_the_key(self):
+        """Regression: trace/race hooks are bound into per-node annotations
+        at compile time, so a tree compiled with instrumentation *off*
+        must never be served to a run that needs it *on* — each flag
+        combination gets its own cache variant."""
+        cached_program(HELLO)
+        cached_program(HELLO, flags=(True, False))
+        cached_program(HELLO, flags=(False, True))
+        info = program_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 3
+        assert info["currsize"] == 3
+
+    def test_warm_plain_cache_still_traces_and_detects_races(self):
+        """The user-visible symptom the flagged key prevents: a plain run
+        warming the cache must not disable instrumentation for an
+        immediately-following traced or race-detected run."""
+        racy = """
+def main():
+    x = 0
+    parallel for i in [1 ... 8]:
+        x = x + 1
+    print(x)
+"""
+        from repro.runtime import RuntimeConfig
+
+        run_source(racy)  # warm the uninstrumented variant
+        traced = run_source(HELLO, trace=True, metrics=True)
+        assert traced.obs is not None
+        assert traced.metrics is not None
+        raced = run_source(racy, detect_races=True,
+                           config=RuntimeConfig(num_workers=4,
+                                                detect_races=True))
+        assert raced.races, "the warm cache must not swallow race events"
+
     def test_run_source_cache_false(self):
         assert run_source(HELLO, cache=False).output == "hello\n"
         assert program_cache_info()["currsize"] == 0

@@ -159,6 +159,39 @@ class TestDifferentialFuzz:
         assert interpreted == compiled == sequential, text
 
     @given(programs())
+    @settings(max_examples=25, deadline=None)
+    def test_proc_backend_matches_sequential_walker(self, text):
+        """The process backend on the generated corpus.  These programs
+        have no parallel constructs, so proc must behave exactly like its
+        thread base; the point is exercising the full proc code path
+        (backend construction, lifecycle, no stray offloads) against the
+        sequential baseline."""
+        from repro.runtime import RuntimeConfig
+
+        sequential = run_source(text, backend="sequential").output
+        proc = run_source(text, backend="proc",
+                          config=RuntimeConfig(num_workers=2))
+        assert proc.output == sequential, text
+
+    @given(parallel_reduction_programs())
+    @settings(max_examples=12, deadline=None)
+    def test_proc_offload_matches_sequential_on_reductions(self, case):
+        """Lock-protected `total += expr` is exactly what the proc backend
+        offloads and merges arithmetically; outputs and exit codes must
+        match the sequential walker.  (Programs whose loops use other
+        shared mutation legitimately fall back to threads — the offload
+        gate itself is covered in test_proc.py.)"""
+        text, workers = case
+        from repro.runtime import RuntimeConfig
+
+        sequential = run_source(text, backend="sequential")
+        proc = run_source(text, backend="proc",
+                          config=RuntimeConfig(num_workers=min(workers, 4)),
+                          on_error="return")
+        assert proc.error is None, text
+        assert proc.output == sequential.output, text
+
+    @given(programs())
     @settings(max_examples=40, deadline=None)
     def test_formatting_preserves_meaning(self, text):
         """unparse(parse(p)) runs identically to p — `tetra fmt` is safe."""
