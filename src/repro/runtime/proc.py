@@ -20,8 +20,9 @@ persistent pool of **worker processes**:
   naming the slot when two workers disagree.
 * Everything the merge contract cannot express — ``parallel:`` /
   ``background:`` blocks, ``lock`` bodies that aren't reductions, bare
-  shared-scalar writes (see :mod:`repro.runtime.parplan`) — **falls back
-  to in-process threads**: ProcBackend *is a* :class:`ThreadBackend`, so
+  shared-scalar writes (see :mod:`repro.runtime.parplan`), mutable values
+  reached through an enclosing loop's private induction variable — **falls
+  back to in-process threads**: ProcBackend *is a* :class:`ThreadBackend`, so
   ineligible regions keep their exact thread semantics instead of
   silently racing across processes.
 
@@ -212,6 +213,14 @@ def _worker_main(worker_index: int, task_q, result_q, source_text: str,
         if msg is None:
             return
         tid, key, blob, want_items, report = msg
+        # Claim the task before running it: the parent uses this to tell a
+        # busy worker from a dead one (a crashed owner of an unreported
+        # chunk must fail the run, not hang it).  mp.Queue is FIFO per
+        # producer, so the claim always precedes this task's result.
+        try:
+            result_q.put(("pick", tid, worker_index))
+        except Exception:  # pragma: no cover - queue torn down under us
+            return
         io.clear()
         try:
             chunk, private, frame_vars = pickle.loads(blob)
@@ -366,6 +375,22 @@ class ProcBackend(ThreadBackend):
                     "(cannot merge across processes)",
                 )
                 return False
+        # A mutable value reached through a *private* binding (an enclosing
+        # parallel for's induction variable, e.g. a row of an iterated
+        # grid) is visible to the program after the loop, but the merge
+        # only reports reductions, shared frame variables, and this loop's
+        # own items — a worker's edits to its pickled copy would be lost.
+        # Keep thread semantics instead of silently diverging.
+        for name in plan.names:
+            if name in env.private \
+                    and isinstance(env.private[name], _MUTABLE):
+                self._note_fallback(
+                    stmt,
+                    f"'{name}' is an enclosing loop's induction variable "
+                    "bound to a mutable value — edits made in a worker "
+                    "process could not be merged back",
+                )
+                return False
         for name in plan.reductions:
             if name in env.private or name not in env.frame.vars:
                 self._note_fallback(
@@ -385,17 +410,21 @@ class ProcBackend(ThreadBackend):
             self.fallbacks.append(note)
 
     # -- dispatch ------------------------------------------------------
-    def _chunks(self, items: list, jobs: int) -> list[tuple[int, list]]:
-        """(start index, items) per chunk, under the configured policy.
+    def _chunks(self, items: list, jobs: int) -> list[tuple[range, list]]:
+        """(original indices, items) per chunk, under the configured policy.
 
         block/cyclic mirror the in-process partition (one chunk per
         worker); dynamic produces many guided-size chunks that the pool's
         workers pull from the task queue — a true work-queue schedule.
+        The indices are each item's position in the *original* iteration
+        order — under cyclic dealing chunk w holds items w, w+jobs, … —
+        so the merge can name the exact iterated value in diagnostics.
         """
         mode = self.config.chunking
         n = len(items)
         if mode == "cyclic":
-            chunks = [(w, items[w::jobs]) for w in range(jobs)]
+            chunks = [(range(w, n, jobs), items[w::jobs])
+                      for w in range(jobs)]
             return [c for c in chunks if c[1]]
         if mode == "dynamic":
             sizes = guided_chunk_sizes(n, jobs)
@@ -406,7 +435,8 @@ class ProcBackend(ThreadBackend):
         start = 0
         for size in sizes:
             if size:
-                out.append((start, items[start:start + size]))
+                out.append((range(start, start + size),
+                            items[start:start + size]))
             start += size
         return out
 
@@ -504,6 +534,7 @@ class ProcBackend(ThreadBackend):
         token = self.config.cancel
         results: dict[int, tuple] = {}
         failures: dict[int, tuple] = {}
+        running: dict[int, int] = {}   # claimed task id -> worker index
         while len(results) + len(failures) < n_tasks:
             if token is not None and token.cancelled:
                 self._kill_pool(pool)
@@ -524,6 +555,23 @@ class ProcBackend(ThreadBackend):
             try:
                 msg = pool.result_q.get(timeout=_POLL_SECONDS)
             except queue_mod.Empty:
+                # A worker never exits on its own while chunks are in
+                # flight, so a dead process is always abnormal (OOM kill,
+                # segfault).  Fail fast when the owner of an unreported
+                # chunk died — the surviving workers blocked on the task
+                # queue would otherwise leave the run hanging forever —
+                # and when nobody is left to serve the unclaimed tasks.
+                dead = {w for w, p in enumerate(pool.procs)
+                        if not p.is_alive()}
+                lost = sorted(tid for tid, w in running.items()
+                              if w in dead)
+                if lost:
+                    w = running[lost[0]]
+                    self._kill_pool(pool)
+                    raise TetraThreadError(
+                        f"proc worker {w + 1} died before finishing its "
+                        "chunk (killed or crashed mid-run)", span,
+                    )
                 if not pool.any_alive():
                     self._kill_pool(pool)
                     raise TetraThreadError(
@@ -532,9 +580,13 @@ class ProcBackend(ThreadBackend):
                     )
                 continue
             kind, tid, payload = msg
-            if kind == "ok":
+            if kind == "pick":
+                running[tid] = payload
+            elif kind == "ok":
+                running.pop(tid, None)
                 results[tid] = pickle.loads(payload)
             elif kind == "err":
+                running.pop(tid, None)
                 failures[tid] = payload
             else:  # "boot" — the worker never came up
                 self._kill_pool(pool)
@@ -612,7 +664,7 @@ class ProcBackend(ThreadBackend):
                 final_items = results[tid][6]
                 if final_items is None:
                     continue
-                start, chunk = chunks[tid]
+                indices, chunk = chunks[tid]
                 for offset, (orig, final) in enumerate(zip(chunk,
                                                            final_items)):
                     if not isinstance(orig, _MUTABLE):
@@ -620,20 +672,33 @@ class ProcBackend(ThreadBackend):
                     diffs = []
                     diff_value(orig, final, (), diffs)
                     for path, value in diffs:
-                        changes.append((f"<item {start + offset}>", orig,
+                        changes.append((f"<item {indices[offset]}>", orig,
                                         path, value, tid))
         self._apply_changes(env, span, changes)
 
     def _apply_changes(self, env, span, changes: list) -> None:
-        seen: dict[tuple, tuple] = {}      # (name, path) -> (value, tid)
-        prefixes: dict[tuple, int] = {}    # (name, proper prefix) -> tid
+        # Conflicts key on the *identity* of the pristine root object plus
+        # the path, never the display name: one object reached under two
+        # names (aliased frame variables, or the same value iterated at
+        # two positions) is a single merge slot, while two distinct
+        # objects can never collide just because their labels match.
+        seen: dict[tuple, tuple] = {}    # (root id, path) -> (value, tid, name)
+        prefixes: dict[tuple, int] = {}  # (root id, proper prefix) -> tid
         ordered: list[tuple] = []
+        rebound: set[str] = set()        # names already queued for env.set
         for name, root, path, value, tid in changes:
-            exact = seen.get((name, path))
+            key = (id(root), path)
+            exact = seen.get(key)
             if exact is not None:
-                prior_value, prior_tid = exact
+                prior_value, prior_tid, _prior_name = exact
                 if type(prior_value) is type(value) and prior_value == value:
-                    continue  # two workers agreed; nothing to report
+                    # Agreement on the same object's slot: applying once
+                    # suffices — except a wholesale frame-variable rebind,
+                    # which must land on every alias *name* separately.
+                    if not path and name not in rebound:
+                        rebound.add(name)
+                        ordered.append((name, root, path, value))
+                    continue
                 raise TetraRuntimeError(
                     f"parallel for workers made conflicting updates to "
                     f"{describe_path(name, path)} (chunks {prior_tid + 1} "
@@ -642,10 +707,10 @@ class ProcBackend(ThreadBackend):
                     "it with a lock or run with --backend thread",
                     span,
                 )
-            overlap_tid = prefixes.get((name, path))
+            overlap_tid = prefixes.get(key)
             if overlap_tid is None:
                 for cut in range(1, len(path)):
-                    holder = seen.get((name, path[:cut]))
+                    holder = seen.get((id(root), path[:cut]))
                     if holder is not None and holder[1] != tid:
                         overlap_tid = holder[1]
                         break
@@ -657,9 +722,11 @@ class ProcBackend(ThreadBackend):
                     "lock or run with --backend thread",
                     span,
                 )
-            seen[(name, path)] = (value, tid)
+            seen[key] = (value, tid, name)
             for cut in range(1, len(path)):
-                prefixes.setdefault((name, path[:cut]), tid)
+                prefixes.setdefault((id(root), path[:cut]), tid)
+            if not path:
+                rebound.add(name)
             ordered.append((name, root, path, value))
         for name, root, path, value in ordered:
             if not path:
