@@ -83,6 +83,13 @@ class RunResult:
     #: ``on_error="return"`` swallowed it.  Partial output/races/metrics
     #: gathered before the abort are still populated.
     error: object = None
+    #: The recorded schedule artifact (a ``tetra-schedule/1`` dict, ready
+    #: for :func:`repro.runtime.schedule.save_schedule`) when the run was
+    #: made with ``record_schedule=True``.
+    schedule: dict | None = None
+    #: :class:`~repro.runtime.schedule.ReplayReport` comparing this run to
+    #: its recording, when the run was made with ``replay=...``.
+    replay: object = None
 
     @property
     def output(self) -> str:
@@ -264,6 +271,7 @@ def run_source(text: str, inputs: list[str] | None = None,
                profile: bool = False,
                time_limit: float = 0.0, memory_limit: int = 0,
                cancel: object = None, chaos_seed: int | None = None,
+               record_schedule: bool = False, replay: object = None,
                on_error: str = "raise") -> RunResult:
     """Compile and run Tetra source, capturing console output.
 
@@ -288,9 +296,32 @@ def run_source(text: str, inputs: list[str] | None = None,
     through :attr:`RunResult.error`/:attr:`RunResult.aborted_by` — with
     whatever partial output, races, and metrics the run produced — instead
     of raising.
+
+    Record/replay (DESIGN.md §6g): ``record_schedule=True`` attaches a
+    :class:`~repro.runtime.schedule.ScheduleRecorder` and leaves the
+    versioned artifact on :attr:`RunResult.schedule`; ``replay`` takes a
+    recorded artifact (a :class:`~repro.runtime.schedule.Schedule`, a raw
+    dict, or a file path), forces the coop backend with a
+    :class:`~repro.runtime.coop.ReplayPolicy`, and attaches a fidelity
+    :class:`~repro.runtime.schedule.ReplayReport` as
+    :attr:`RunResult.replay`.  Most callers replay through
+    :func:`repro.runtime.schedule.replay_schedule`, which also feeds the
+    recorded source and inputs back in.
     """
     if on_error not in ("raise", "return"):
         raise ValueError('on_error must be "raise" or "return"')
+    sched = None
+    if replay is not None:
+        from .runtime.schedule import load_schedule, parse_schedule
+
+        sched = load_schedule(replay) if isinstance(replay, str) \
+            else parse_schedule(replay)
+        if isinstance(backend, str):
+            backend = "coop"  # replays run on the coop scheduler
+        if sched.detect_races:
+            detect_races = True
+        if chaos_seed is None:
+            chaos_seed = sched.chaos_seed
     cfg_races = detect_races or (config is not None and config.detect_races)
     cfg_obs = (trace or metrics or profile
                or (config is not None and (config.trace or config.metrics
@@ -316,6 +347,17 @@ def run_source(text: str, inputs: list[str] | None = None,
         overrides["cancel"] = cancel
     if chaos_seed is not None:
         overrides["chaos_seed"] = chaos_seed
+    recorder = None
+    if record_schedule:
+        from .runtime.schedule import ScheduleRecorder
+
+        recorder = ScheduleRecorder()
+        overrides["schedule_recorder"] = recorder
+    if sched is not None:
+        overrides["schedule_replay"] = sched
+        overrides["chunking"] = sched.chunking
+        if sched.num_workers is not None:
+            overrides["num_workers"] = sched.num_workers
     if overrides:
         config = replace(config, **overrides) if config is not None \
             else RuntimeConfig(**overrides)
@@ -325,6 +367,11 @@ def run_source(text: str, inputs: list[str] | None = None,
             from .resilience import FaultPlan
 
             config.fault_plan = FaultPlan(config.chaos_seed)
+    if sched is not None and config is not None:
+        # Same seed AND same knobs as the recording — a plan built from
+        # the bare seed would use default probabilities and inject a
+        # different set of thread faults.
+        config.fault_plan = sched.make_fault_plan()
     if isinstance(backend, str):
         try:
             factory = BACKEND_FACTORIES[backend]
@@ -355,6 +402,22 @@ def run_source(text: str, inputs: list[str] | None = None,
     if plan is not None:
         result.faults = list(plan.records)
         result.fault_counts = dict(plan.counts)
+    if recorder is not None:
+        from .runtime.schedule import build_artifact
+
+        result.schedule = build_artifact(
+            recorder, source_text=text, name=name, entry=entry,
+            backend_name=backend_obj.name, config=interp.config,
+            inputs=inputs, output=result.output,
+            status=result.aborted_by or "ok", races=interp.races,
+            fault_counts=result.fault_counts,
+        )
+    if sched is not None:
+        from .runtime.schedule import ReplayReport
+
+        policy = getattr(getattr(backend_obj, "scheduler", None),
+                         "policy", None)
+        result.replay = ReplayReport(sched, result, policy)
     obs = interp._obs
     if obs is not None:
         result.obs = obs
@@ -378,6 +441,7 @@ def run_file(path: str, inputs: list[str] | None = None,
              profile: bool = False,
              time_limit: float = 0.0, memory_limit: int = 0,
              cancel: object = None, chaos_seed: int | None = None,
+             record_schedule: bool = False,
              on_error: str = "raise") -> RunResult:
     """Compile and run a ``.ttr`` file."""
     source = SourceFile.from_path(path)
@@ -386,4 +450,5 @@ def run_file(path: str, inputs: list[str] | None = None,
                       trace=trace, metrics=metrics, profile=profile,
                       time_limit=time_limit, memory_limit=memory_limit,
                       cancel=cancel, chaos_seed=chaos_seed,
+                      record_schedule=record_schedule,
                       on_error=on_error)

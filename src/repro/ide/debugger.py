@@ -19,6 +19,7 @@ on its interpreter library.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import TetraError, TetraThreadError
@@ -84,9 +85,36 @@ class DebugSession:
     #: Safety valve for continue_all on runaway programs.
     MAX_CONTINUE_STEPS = 200_000
 
-    def __init__(self, text: str, inputs: list[str] | None = None,
+    def __init__(self, text: str | None = None,
+                 inputs: list[str] | None = None,
                  name: str = "<debug>", num_workers: int = 4,
-                 detect_races: bool = False):
+                 detect_races: bool = False, replay: object = None):
+        #: The schedule being replayed (``tetra run --record-schedule`` /
+        #: ``tetra stress --artifacts`` output), or None for a live session.
+        self.schedule = None
+        self._replay_turns: deque[str] | None = None
+        if replay is not None:
+            from ..runtime.schedule import load_schedule, parse_schedule
+
+            schedule = load_schedule(replay) if isinstance(replay, str) \
+                else parse_schedule(replay)
+            self.schedule = schedule
+            # The artifact embeds everything the recorded run saw; explicit
+            # arguments still win so tests can tweak a session.
+            if text is None:
+                text = schedule.source
+            if name == "<debug>":
+                name = schedule.name
+            if inputs is None:
+                inputs = list(schedule.inputs)
+            detect_races = detect_races or schedule.detect_races
+            if schedule.num_workers is not None:
+                num_workers = schedule.num_workers
+            self._replay_turns = deque(schedule.turns)
+        if text is None:
+            raise TetraThreadError(
+                "DebugSession needs source text or a replay schedule"
+            )
         self.program, self.source = cached_program(text, name)
         self.io = CapturingIO(inputs or [])
         from ..resilience import CancelToken
@@ -97,6 +125,14 @@ class DebugSession:
         config = RuntimeConfig(num_workers=num_workers,
                                detect_races=detect_races,
                                cancel=self.cancel)
+        if self.schedule is not None:
+            # Installing the replay on the config makes CoopBackend arm
+            # the lock-grant gate and parallel-for shapes; stepping stays
+            # manual, but every lock handoff and worker count follows the
+            # recording.
+            config.schedule_replay = self.schedule
+            config.chunking = self.schedule.chunking
+            config.fault_plan = self.schedule.make_fault_plan()
         self.backend = CoopBackend(ManualPolicy(), config=config)
         self.interpreter = Interpreter(
             self.program, self.source, backend=self.backend, io=self.io,
@@ -323,6 +359,68 @@ class DebugSession:
             if self.backend.scheduler.abort_exc:
                 break
         self._raise_if_failed()
+
+    @property
+    def replay_pending(self) -> int:
+        """Recorded turns not yet replayed (0 for live sessions)."""
+        return len(self._replay_turns or ())
+
+    def replay_step(self, steps: int = 1) -> list[ThreadView]:
+        """Advance a replay session by ``steps`` recorded turns.
+
+        Each step grants exactly the thread the recording ran next, so
+        single-stepping walks the *recorded* interleaving — the student
+        watches the exact schedule that raced or deadlocked, one statement
+        at a time, with full variable inspection between turns.  Recorded
+        turns whose thread no longer exists or is not runnable (e.g. a
+        proc recording's worker-pool threads) are skipped; breakpoints are
+        honored between turns by the caller checking :meth:`threads`.
+        """
+        if self._replay_turns is None:
+            raise TetraThreadError(
+                "this session is not replaying a schedule — construct "
+                "DebugSession(replay=...) to step a recording"
+            )
+        for _ in range(steps):
+            if self.finished:
+                break
+            granted = False
+            while self._replay_turns and not granted:
+                label = self._replay_turns.popleft()
+                target = None
+                for record in self.backend.scheduler.snapshot():
+                    if record.label == label and record.state == READY:
+                        target = record
+                        break
+                if target is None:
+                    continue  # finished/absent thread: drop its turn
+                try:
+                    self.backend.scheduler.grant(target.id, 1)
+                except TetraThreadError:
+                    continue
+                granted = True
+                self._settle()
+            if not granted:
+                break  # recording exhausted
+        self._raise_if_failed()
+        return self.threads()
+
+    def replay_continue(self) -> None:
+        """Play the rest of the recording (or until a breakpoint line)."""
+        if self._replay_turns is None:
+            raise TetraThreadError(
+                "this session is not replaying a schedule"
+            )
+        while self._replay_turns and not self.finished:
+            hit = [t for t in self.backend.scheduler.snapshot()
+                   if t.state == READY
+                   and t.current_span.line in self.breakpoints]
+            if hit:
+                break
+            before = len(self._replay_turns)
+            self.replay_step()
+            if len(self._replay_turns) == before:
+                break
 
     def add_breakpoint(self, line: int) -> None:
         self.breakpoints.add(line)

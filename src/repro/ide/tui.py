@@ -17,7 +17,12 @@ variables.  Commands:
     print <t> <expr>     evaluate an expression in thread t's scope
     locks                named locks and their holders
     output               show the console pane
+    rs [n]               replay sessions: advance the recording n turns
     quit
+
+In a replay session (``tetra dbg --replay FILE``) ``rs`` walks the
+*recorded* interleaving — the exact schedule that raced or deadlocked —
+one turn at a time; manual ``step`` remains available to diverge.
 
 The loop reads from/writes to injectable streams so tests can drive it.
 """
@@ -36,10 +41,11 @@ _CONTEXT_LINES = 3
 
 
 class DebuggerTUI:
-    def __init__(self, text: str, inputs: list[str] | None = None,
+    def __init__(self, text: str | None = None,
+                 inputs: list[str] | None = None,
                  stdin: TextIO | None = None, stdout: TextIO | None = None,
-                 color: bool = False):
-        self.session = DebugSession(text, inputs)
+                 color: bool = False, replay: object = None):
+        self.session = DebugSession(text, inputs, replay=replay)
         self.stdin = stdin or sys.stdin
         self.stdout = stdout or sys.stdout
         self.color = color
@@ -56,6 +62,7 @@ class DebuggerTUI:
             "print": self._cmd_print,
             "locks": self._cmd_locks,
             "output": self._cmd_output,
+            "rs": self._cmd_replay_step,
             "help": self._cmd_help,
         }
 
@@ -196,10 +203,20 @@ class DebuggerTUI:
         for line in text.rstrip("\n").split("\n"):
             self._say(f"  | {line}")
 
+    def _cmd_replay_step(self, args: list[str]) -> None:
+        steps = int(args[0]) if args else 1
+        self.session.replay_step(steps)
+        left = self.session.replay_pending
+        self._say(f"  ({left} recorded turn{'s' if left != 1 else ''} left)")
+        if not self.session.finished:
+            self._cmd_threads([])
+
     def _cmd_help(self, args: list[str]) -> None:
         self._say(__doc__.split("Commands:")[1].split("The loop")[0])
 
 
-def debug_main(text: str, inputs: list[str] | None = None) -> None:
-    """Entry point used by ``tetra dbg``."""
-    DebuggerTUI(text, inputs).repl()
+def debug_main(text: str | None = None, inputs: list[str] | None = None,
+               replay: object = None) -> None:
+    """Entry point used by ``tetra dbg`` (``--replay`` passes a recorded
+    schedule artifact; the program source then comes from the artifact)."""
+    DebuggerTUI(text, inputs, replay=replay).repl()

@@ -110,7 +110,6 @@ from ..runtime import (
     real_mod,
     tetra_pow,
 )
-from ..runtime.backend import Backend
 from ..runtime.values import TetraArray, TetraDict, TetraObject, TetraTuple
 from ..stdlib.registry import BUILTINS
 from .context import CallRecord
@@ -203,12 +202,12 @@ class _Compiler:
         self.source = interp.source
         self.symbols = interp.symbols
         self.limit = interp.config.step_limit
-        # Backends that don't override checkpoint() never observe it;
-        # skipping the call is invisible to them and saves a method call
-        # per statement on the thread and sequential backends.
-        self.need_checkpoint = (
-            type(self.backend).checkpoint is not Backend.checkpoint
-        )
+        # Backends that don't observe checkpoint() never see it skipped;
+        # dropping the call saves a method call per statement on the thread
+        # and sequential backends.  Asked of the *instance* (not the class)
+        # because those backends only observe checkpoints while a schedule
+        # recorder is attached.
+        self.need_checkpoint = self.backend.wants_checkpoints()
         obs = interp._obs
         self._obs = obs
         #: Per-line profile hook; bound once so run_full pays a None test.
@@ -726,13 +725,14 @@ class _Compiler:
             for child in s.body.statements
         )
         spawn = self.interp._spawn_with_race_edges
+        unique_label = self.interp._unique_label
         span = s.span
 
         def run(ctx):
             jobs = []
             env = ctx.env
             for i, (child_run, line) in enumerate(children):
-                label = f"{kind} thread {i + 1} (line {line})"
+                label = unique_label(f"{kind} thread {i + 1} (line {line})")
                 child_ctx = ctx.spawn_child(label, env)
 
                 def thunk(run_child=child_run, c=child_ctx):
@@ -763,6 +763,7 @@ class _Compiler:
         spawn = interp._spawn_with_race_edges
         obs = self._obs
         try_offload = backend.try_parallel_for
+        sched_rec = interp.config.schedule_recorder
 
         def run(ctx):
             items = interp._iterate(iterable_fn(ctx), span)
@@ -772,12 +773,16 @@ class _Compiler:
                                                        ctx):
                 return
             workers = backend.parallel_for_workers(len(items))
+            if sched_rec is not None:
+                sched_rec.pfor(line, len(items), workers)
             chunks = interp._partition(items, workers)
             jobs = []
             for w, chunk in enumerate(chunks):
                 if not chunk:
                     continue
-                label = f"worker {w + 1} (parallel for, line {line})"
+                label = interp._unique_label(
+                    f"worker {w + 1} (parallel for, line {line})"
+                )
                 worker_env = ctx.env.child_with_private({var: chunk[0]})
                 child_ctx = ctx.spawn_child(label, worker_env)
 

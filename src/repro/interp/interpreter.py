@@ -18,6 +18,7 @@ the real-threads semantics and regenerate the speedup evaluation
 from __future__ import annotations
 
 import itertools
+import threading
 
 from ..errors import (
     TetraInternalError,
@@ -135,6 +136,14 @@ class Interpreter:
         }
         self._steps = itertools.count(1)
         self._stopped = False
+        # Thread labels are the identity a schedule artifact (and the race
+        # detector's reports) refers to; the counter disambiguates re-spawns
+        # from the same source site (a loop around a parallel block) with a
+        # " #N" suffix, and the issued set turns any remaining collision
+        # into a loud internal error instead of a silently wrong replay.
+        self._labels_mu = threading.Lock()
+        self._label_counts: dict[str, int] = {}
+        self._labels_issued: set[str] = set()
         # Race detection: None (the common case) costs one attribute test
         # per shared-memory operation; a detector records happens-before
         # and lockset evidence for every shared access.
@@ -241,7 +250,7 @@ class Interpreter:
         needed = self.config.recursion_limit * 40 + 1000
         if sys.getrecursionlimit() < needed:
             sys.setrecursionlimit(needed)
-        ctx = ThreadContext("main thread")
+        ctx = ThreadContext(self._unique_label("main thread"))
         if self._race is not None:
             self._race.register(ctx.id, ctx.label)
         if self._guard is not None:
@@ -551,6 +560,21 @@ class Interpreter:
             except ContinueSignal:
                 continue
 
+    def _unique_label(self, base: str) -> str:
+        """Issue a run-unique thread label: the first use of a base keeps
+        it verbatim, re-spawns from the same site get a " #N" suffix."""
+        with self._labels_mu:
+            n = self._label_counts.get(base, 0)
+            self._label_counts[base] = n + 1
+            label = base if n == 0 else f"{base} #{n + 1}"
+            if label in self._labels_issued:
+                raise TetraInternalError(
+                    f"duplicate thread label {label!r} — labels must be "
+                    "unique for schedule recording to be replayable"
+                )
+            self._labels_issued.add(label)
+        return label
+
     # -- parallel constructs ------------------------------------------------
     def _exec_parallel_block(self, stmt: ParallelBlock, ctx: ThreadContext) -> None:
         self._spawn_statements(stmt, ctx, join=True, kind="parallel")
@@ -564,7 +588,9 @@ class Interpreter:
         """One thread per child statement, sharing the spawner's environment."""
         jobs = []
         for i, child_stmt in enumerate(stmt.body.statements):
-            label = f"{kind} thread {i + 1} (line {child_stmt.span.line})"
+            label = self._unique_label(
+                f"{kind} thread {i + 1} (line {child_stmt.span.line})"
+            )
             child_ctx = ctx.spawn_child(label, ctx.env)
 
             def thunk(s=child_stmt, c=child_ctx):
@@ -617,13 +643,21 @@ class Interpreter:
         if offload is not None and offload(self, stmt, items, ctx):
             return
         workers = self.backend.parallel_for_workers(len(items))
+        rec = self.config.schedule_recorder
+        if rec is not None:
+            # Worker counts are backend-dependent (thread: cpu_count, coop:
+            # 4, ...); recording the resolved count lets the replay size
+            # its pool identically, keeping worker labels aligned.
+            rec.pfor(stmt.span.line, len(items), workers)
         chunks = self._partition(items, workers)
         cm = self.cost_model
         jobs = []
         for w, chunk in enumerate(chunks):
             if not chunk:
                 continue
-            label = f"worker {w + 1} (parallel for, line {stmt.span.line})"
+            label = self._unique_label(
+                f"worker {w + 1} (parallel for, line {stmt.span.line})"
+            )
             # The induction variable lives in the worker's *private* table
             # (paper §IV); everything else stays shared.
             worker_env = ctx.env.child_with_private({stmt.var: chunk[0]})

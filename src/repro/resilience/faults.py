@@ -141,14 +141,19 @@ class FaultPlan:
 
     def wrap_jobs(self, jobs: list) -> list:
         """Optionally replace some child thunks with an immediate
-        :class:`ChaosFault` (``thread_fault_prob > 0`` only).  Draws happen
-        here, in the spawner, so they are deterministic on the virtual
-        backends."""
+        :class:`ChaosFault` (``thread_fault_prob > 0`` only).  Each draw is
+        a pure function of (seed, child label) — not of a shared stream —
+        so the same threads die no matter which backend runs the program or
+        how its spawns interleave; that is what lets a schedule replay
+        re-inject exactly the recorded faults."""
         if not self.thread_fault_prob:
             return jobs
         wrapped = []
         for child_ctx, thunk in jobs:
-            if self._spawn_rng.random() < self.thread_fault_prob:
+            draw = random.Random(
+                f"tetra-fault:{self.seed}:{child_ctx.label}"
+            ).random()
+            if draw < self.thread_fault_prob:
                 self._note("thread-fault", child_ctx.label, "injected crash")
 
                 def fail(label=child_ctx.label):

@@ -99,8 +99,12 @@ class ExecutionGuard:
         plan = config.fault_plan
         # Preemption jitter only makes sense where a real OS scheduler can
         # exploit it; the deterministic backends get their chaos from the
-        # schedule seed and spawn shuffling instead.
+        # schedule seed and spawn shuffling instead.  While a schedule is
+        # being recorded the turnstile injects the jitter itself, token-free
+        # (sleeping here would stall every thread and double-draw the
+        # per-thread fault RNG).
         self._preempt = plan if (plan is not None
+                                 and config.schedule_recorder is None
                                  and backend.name in ("thread", "proc")) \
             else None
 

@@ -21,6 +21,8 @@ seed is a *repro recipe*, not a flake.
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass, field
 
 
@@ -37,6 +39,10 @@ class StressOutcome:
     races: int = 0
     faults_injected: int = 0
     error: str = ""
+    #: Path of the persisted schedule artifact for this cell (recorded
+    #: when ``run_stress(..., artifact_dir=...)`` and the cell failed or
+    #: produced a divergent output).
+    schedule_path: str = ""
 
     @property
     def clean(self) -> bool:
@@ -124,7 +130,20 @@ class StressReport:
         if self.findings == 0:
             lines.append("no findings: stable output, no races, "
                          "no deadlocks")
+        saved = [o for o in self.outcomes if o.schedule_path]
+        if saved:
+            lines.append("")
+            lines.append("recorded schedules (replay any of them exactly):")
+            for o in saved:
+                lines.append(f"  tetra replay {o.schedule_path}")
         return "\n".join(lines)
+
+
+def _artifact_slug(name: str) -> str:
+    base = os.path.basename(name)
+    base = base.rsplit(".", 1)[0] if "." in base else base
+    slug = re.sub(r"[^A-Za-z0-9_-]+", "-", base).strip("-")
+    return slug or "program"
 
 
 def run_stress(text: str, *, name: str = "<string>",
@@ -133,17 +152,28 @@ def run_stress(text: str, *, name: str = "<string>",
                detect_races: bool = True,
                time_limit: float = 0.0,
                inputs: list[str] | None = None,
-               entry: str = "main") -> StressReport:
+               entry: str = "main",
+               artifact_dir: str | None = None) -> StressReport:
     """Run ``text`` across ``seeds`` chaos seeds on each backend.
 
     Every cell uses ``chaos_seed = first_seed + i`` and (by default) the
     race detector; a per-run ``time_limit`` guards against seeds that
     drive the program into a livelock.  Nothing raises: each cell's fate
     lands in its :class:`StressOutcome`.
+
+    With ``artifact_dir`` every cell runs under a schedule recorder, and
+    the cells worth keeping — every failing cell (non-ok status or
+    observed races) plus one representative per distinct output when the
+    outputs diverge — are persisted as ``tetra-schedule/1`` artifacts in
+    that directory; each kept cell's :attr:`StressOutcome.schedule_path`
+    points at its file, and the rendered report prints the matching
+    ``tetra replay`` commands.  A failing seed stops being a story about
+    chance and becomes a file you can hand in.
     """
     from ..api import run_source
 
     report = StressReport(name)
+    artifacts: dict[tuple[str, int], dict] = {}
     for backend in backends:
         for i in range(seeds):
             seed = first_seed + i
@@ -161,6 +191,7 @@ def run_stress(text: str, *, name: str = "<string>",
                 text, inputs=list(inputs or []), backend=backend,
                 name=name, entry=entry, detect_races=races,
                 chaos_seed=seed, time_limit=limit, on_error="return",
+                record_schedule=artifact_dir is not None,
             )
             outcome = StressOutcome(
                 backend=backend, seed=seed, output=result.output,
@@ -177,4 +208,38 @@ def run_stress(text: str, *, name: str = "<string>",
                 report.output_groups.setdefault(
                     outcome.output, []
                 ).append(outcome)
+            if result.schedule is not None:
+                artifacts[(backend, seed)] = result.schedule
+    if artifact_dir is not None:
+        _persist_artifacts(report, artifacts, artifact_dir)
     return report
+
+
+def _persist_artifacts(report: StressReport,
+                       artifacts: dict[tuple[str, int], dict],
+                       artifact_dir: str) -> None:
+    """Write the schedules worth keeping (see :func:`run_stress`)."""
+    from ..runtime.schedule import save_schedule
+
+    keep: list[StressOutcome] = [
+        o for o in report.outcomes if not o.clean
+    ]
+    if report.divergent:
+        for cells in report.output_groups.values():
+            first = cells[0]
+            if first not in keep:
+                keep.append(first)
+    if not keep:
+        return
+    os.makedirs(artifact_dir, exist_ok=True)
+    slug = _artifact_slug(report.name)
+    for outcome in keep:
+        artifact = artifacts.get((outcome.backend, outcome.seed))
+        if artifact is None:
+            continue
+        path = os.path.join(
+            artifact_dir,
+            f"{slug}-{outcome.backend}-seed{outcome.seed}.schedule.json",
+        )
+        save_schedule(artifact, path)
+        outcome.schedule_path = path

@@ -21,6 +21,13 @@ from .env import Environment, Frame
 from .locks import LockStats, LockTable
 from .machine import Machine, ScheduleResult, speedup_curve
 from .proc import ProcBackend
+from .schedule import (
+    Schedule,
+    ScheduleRecorder,
+    load_schedule,
+    replay_schedule,
+    save_schedule,
+)
 from .sim import SimBackend
 from .taskgraph import Access, Acquire, Fork, Release, Task, TraceRecorder, Work
 from .values import (
@@ -46,6 +53,8 @@ __all__ = [
     "DEFAULT_COST_MODEL", "FREE_PARALLELISM", "CostModel",
     "Environment", "Frame", "LockStats", "LockTable",
     "Machine", "ScheduleResult", "speedup_curve", "SimBackend",
+    "Schedule", "ScheduleRecorder", "load_schedule", "replay_schedule",
+    "save_schedule",
     "Access", "Acquire", "Fork", "Release", "Task", "TraceRecorder", "Work",
     "TetraArray", "Value", "coerce_to", "deep_copy", "display",
     "int_div", "int_mod", "make_array", "real_div", "real_mod",

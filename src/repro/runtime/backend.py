@@ -120,6 +120,14 @@ class RuntimeConfig:
     #: Convenience: a bare seed builds a default FaultPlan (the CLI's
     #: ``--chaos SEED``).
     chaos_seed: int | None = None
+    #: A :class:`~repro.runtime.schedule.ScheduleRecorder` capturing this
+    #: run's scheduling decisions (turns, lock grants, parallel-for
+    #: shapes) for a replayable artifact, or None.
+    schedule_recorder: object = None
+    #: A parsed :class:`~repro.runtime.schedule.Schedule` to replay; only
+    #: the coop backend honors it (it drives the policy, the lock grant
+    #: order, and parallel-for worker counts).
+    schedule_replay: object = None
 
     def __post_init__(self) -> None:
         if self.chunking not in ("block", "cyclic", "dynamic"):
@@ -187,6 +195,16 @@ class Backend:
     def checkpoint(self, ctx, node) -> None:
         """Called before each statement: scheduling / cancellation point."""
 
+    def wants_checkpoints(self) -> bool:
+        """True when :meth:`checkpoint` must be called for every statement.
+
+        The compiled fast path skips the call entirely when this is False
+        (the lean prologue).  Backends whose checkpoint only matters in
+        some configurations — the thread backend records turns only under
+        a schedule recorder — override this instead of relying on the
+        method-override test, so plain runs stay lean."""
+        return type(self).checkpoint is not Backend.checkpoint
+
     def record_access(self, ctx, name: str, write: bool,
                       span: Span = NO_SPAN) -> None:
         """Trace hook for shared reads/writes, only called while race
@@ -230,13 +248,34 @@ class ThreadBackend(Backend):
         self._background: list[threading.Thread] = []
         self._background_errors: list[tuple[str, BaseException]] = []
         self._bg_monitor = threading.Lock()
+        #: Statement-granular serialization while a schedule recorder is
+        #: attached (see repro.runtime.schedule); None on plain runs, so
+        #: they stay lean and genuinely concurrent.
+        self._turnstile = None
+        rec = self.config.schedule_recorder
+        if rec is not None:
+            from .schedule import Turnstile
+
+            self._turnstile = Turnstile(rec, self.config.fault_plan)
+            self.locks.grant_hook = (
+                lambda name, key: rec.grant(name, self.locks.label_for(key))
+            )
 
     # ------------------------------------------------------------------
+    def checkpoint(self, ctx, node) -> None:
+        ts = self._turnstile
+        if ts is not None:
+            ts.step(ctx)
+
+    def wants_checkpoints(self) -> bool:
+        return self._turnstile is not None
+
     def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
                     span: Span = NO_SPAN) -> None:
         threads: list[threading.Thread] = []
         errors: list[tuple[str, BaseException]] = []
         err_lock = threading.Lock()
+        ts = self._turnstile
 
         def runner(child_ctx, thunk) -> None:
             self.locks.register_thread(child_ctx.id, child_ctx.label)
@@ -248,6 +287,9 @@ class ThreadBackend(Backend):
                 if not join:
                     with self._bg_monitor:
                         self._background_errors.append((child_ctx.label, exc))
+            finally:
+                if ts is not None:
+                    ts.finish(child_ctx)
 
         for child_ctx, thunk in jobs:
             thread = threading.Thread(
@@ -260,8 +302,17 @@ class ThreadBackend(Backend):
             thread.start()
 
         if join:
-            for thread in threads:
-                thread.join()
+            if ts is not None and threads:
+                # The joining parent must not sit on the turnstile token
+                # while its children need it; resuming records one turn,
+                # mirroring the coop scheduler's join-resume rule.
+                ts.pause(ctx)
+                for thread in threads:
+                    thread.join()
+                ts.resume(ctx)
+            else:
+                for thread in threads:
+                    thread.join()
             raise_thread_failures(errors, span, "parallel")
         else:
             with self._bg_monitor:
@@ -278,12 +329,25 @@ class ThreadBackend(Backend):
     def lock(self, ctx, name: str, body: Callable[[], None],
              span: Span = NO_SPAN) -> None:
         plan = self.config.fault_plan
-        if plan is not None:
-            # Chaos: widen the race window in front of the critical section.
+        ts = self._turnstile
+        if plan is not None and ts is None:
+            # Chaos: widen the race window in front of the critical
+            # section.  While recording, the turnstile's own token-free
+            # jitter plays this role (a sleep here would hold the token).
             plan.lock_delay(ctx, name)
+        on_block = None
+        blocked: list = []
+        if ts is not None:
+            def on_block() -> None:
+                # Fires only when the acquire actually waits — an
+                # uncontended acquire costs no turn, on any backend.
+                blocked.append(True)
+                ts.pause(ctx)
         obs = self.obs
         if obs is None:
-            self.locks.acquire(name, ctx.id, span)
+            self.locks.acquire(name, ctx.id, span, on_block=on_block)
+            if blocked:
+                ts.resume(ctx)
             try:
                 body()
             finally:
@@ -291,7 +355,9 @@ class ThreadBackend(Backend):
             return
         contended = self.locks.holder_of(name) is not None
         t_req = obs.clock()
-        self.locks.acquire(name, ctx.id, span)
+        self.locks.acquire(name, ctx.id, span, on_block=on_block)
+        if blocked:
+            ts.resume(ctx)
         t_acq = obs.clock()
         try:
             body()
@@ -306,18 +372,30 @@ class ThreadBackend(Backend):
         self.locks.cancel = self.config.cancel
 
     def finish_program(self, root_ctx) -> None:
-        if not self.config.wait_for_background:
-            return
-        while True:
+        ts = self._turnstile
+        try:
+            if not self.config.wait_for_background:
+                return
+            if ts is not None:
+                # Background threads still need the token to run; the
+                # root's trailing join must not starve them.
+                ts.pause(root_ctx)
+            while True:
+                with self._bg_monitor:
+                    if not self._background:
+                        break
+                    thread = self._background.pop()
+                thread.join()
             with self._bg_monitor:
-                if not self._background:
-                    break
-                thread = self._background.pop()
-            thread.join()
-        with self._bg_monitor:
-            failures = list(self._background_errors)
-            self._background_errors.clear()
-        raise_thread_failures(failures, NO_SPAN, "background")
+                failures = list(self._background_errors)
+                self._background_errors.clear()
+            raise_thread_failures(failures, NO_SPAN, "background")
+        finally:
+            if ts is not None:
+                # Teardown gate: stop serializing so no thread (on any
+                # error path) can hang waiting for a token that will
+                # never be released again.
+                ts.close(root_ctx)
 
 
 class SequentialBackend(Backend):
@@ -334,6 +412,15 @@ class SequentialBackend(Backend):
     def __init__(self, config: RuntimeConfig | None = None):
         super().__init__(config)
         self._held: list[tuple[object, str]] = []
+        self._recorder = self.config.schedule_recorder
+
+    def checkpoint(self, ctx, node) -> None:
+        rec = self._recorder
+        if rec is not None:
+            rec.turn(ctx.label)
+
+    def wants_checkpoints(self) -> bool:
+        return self._recorder is not None
 
     def spawn_group(self, ctx, jobs: Sequence[Job], join: bool,
                     span: Span = NO_SPAN) -> None:
@@ -349,6 +436,12 @@ class SequentialBackend(Backend):
                 thunk()
             except BaseException as exc:  # noqa: BLE001 - aggregated below
                 failures.append((child_ctx.label, exc))
+        rec = self._recorder
+        if rec is not None and join and jobs:
+            # On the coop scheduler, resuming from a join costs the parent
+            # one turn; synthesize it so sequential recordings line up
+            # turn-for-turn with their replay.
+            rec.turn(ctx.label)
         raise_thread_failures(failures, span,
                               "parallel" if join else "background")
 
@@ -364,6 +457,9 @@ class SequentialBackend(Backend):
             raise TetraDeadlockError(
                 f"{ctx.label} re-entered 'lock {name}:' it already holds", span
             )
+        rec = self._recorder
+        if rec is not None:
+            rec.grant(name, ctx.label)
         obs = self.obs
         t_acq = obs.clock() if obs is not None else 0.0
         self._held.append((ctx.id, name))

@@ -130,6 +130,98 @@ class ScriptPolicy(SchedulerPolicy):
         return self._fallback.choose(ready, current)
 
 
+class ReplayPolicy(ScriptPolicy):
+    """A :class:`ScriptPolicy` fed from a recorded schedule artifact.
+
+    Identical matching rules — entries name thread labels, entries for
+    finished threads are dropped, a front entry whose thread is not ready
+    yet is left in place while round-robin fills in — plus fidelity
+    counters, so a replay can report how much of the recorded schedule it
+    actually consumed.  Round-robin fill-ins are expected for schedules
+    recorded around multiprocess offloads (worker processes produce no
+    turns) and for the unwind tail of aborted runs; a thread→coop replay
+    of a clean run consumes the script exactly."""
+
+    def __init__(self, script: Sequence[str]):
+        super().__init__(script)
+        self.matched_turns = 0
+        self.fallback_turns = 0
+
+    def choose(self, ready: list[int], current: int | None) -> int:
+        while self.script:
+            wanted = self.script[0]
+            matches = [t for t in ready if self.label_of.get(t) == wanted]
+            if matches:
+                self.script.popleft()
+                self.matched_turns += 1
+                return matches[0]
+            finished = any(
+                self.label_of.get(t) == wanted for t in self.finished_ids
+            )
+            if finished:
+                self.script.popleft()
+                continue
+            break
+        self.fallback_turns += 1
+        return self._fallback.choose(ready, current)
+
+
+class GrantGate:
+    """Enforces a recorded per-lock grant order during replay.
+
+    The recorded run may have let a late requester barge past parked
+    waiters; FIFO handoff on replay would diverge.  The gate holds each
+    lock's recorded grant queue and applies reservation semantics: a free
+    lock may only be taken by the next recorded grantee — anyone else
+    must park even though the lock is free — and on release the lock is
+    handed to the waiter matching the next recorded grantee, or left
+    reserved if that thread has not asked yet.  Entries for finished
+    threads are dropped; an exhausted queue falls back to FIFO."""
+
+    def __init__(self, grants: Sequence[tuple[str, str]]):
+        self._queues: dict[str, deque[str]] = {}
+        for name, label in grants:
+            self._queues.setdefault(name, deque()).append(label)
+
+    def _front(self, name: str, finished: set[str]) -> str | None:
+        queue = self._queues.get(name)
+        while queue:
+            if queue[0] in finished:
+                queue.popleft()
+                continue
+            return queue[0]
+        return None
+
+    def may_take(self, name: str, label: str, finished: set[str]) -> bool:
+        front = self._front(name, finished)
+        return front is None or front == label
+
+    def took(self, name: str, label: str) -> None:
+        queue = self._queues.get(name)
+        if queue and queue[0] == label:
+            queue.popleft()
+
+    def pick_waiter(self, name: str, waiters: Sequence[tuple[int, str]],
+                    finished: set[str]) -> int | None:
+        """The waiter id to hand a released lock to, or None to leave the
+        lock reserved for a recorded grantee that has not asked yet."""
+        front = self._front(name, finished)
+        if front is None:
+            return waiters[0][0] if waiters else None
+        for wid, label in waiters:
+            if label == front:
+                return wid
+        return None
+
+    def rescue(self, name: str) -> None:
+        """Drop the front entry for ``name`` — the no-false-deadlock
+        valve when a replay diverged and the reserved thread will never
+        come (see CoopScheduler._schedule_turn)."""
+        queue = self._queues.get(name)
+        if queue:
+            queue.popleft()
+
+
 class ManualPolicy(SchedulerPolicy):
     """Threads only run when a controller grants them steps (the debugger)."""
 
@@ -169,6 +261,9 @@ class CoopThread:
     #: Where the thread last checkpointed (line info for the debugger).
     current_span: Span = NO_SPAN
     error: BaseException | None = None
+    #: Pending per-thread abort (replay deadlock victim); raised the next
+    #: time this thread wakes in ``_wait_for_turn``.
+    abort_exc: BaseException | None = None
 
 
 class CoopScheduler:
@@ -189,6 +284,15 @@ class CoopScheduler:
         self.lock_waiters: dict[str, deque[int]] = {}
         self.abort_exc: BaseException | None = None
         self.statements_run: dict[int, int] = {}
+        #: Optional :class:`~repro.runtime.schedule.ScheduleRecorder`; every
+        #: granted turn and lock grant is recorded, making a coop run (any
+        #: policy, chaos included) re-runnable from the artifact alone.
+        self.turn_recorder = None
+        #: Optional :class:`GrantGate` enforcing a recorded lock grant order.
+        self.grant_gate = None
+        #: Labels of finished threads — the gate drops queue entries for
+        #: them so a recorded grantee that already exited can't wedge a lock.
+        self.finished_labels: set[str] = set()
 
     # -- registration ----------------------------------------------------
     def register(self, ctx, parent_id: int | None = None) -> CoopThread:
@@ -226,13 +330,103 @@ class CoopScheduler:
             record.has_fresh_turn = True
             self.turn_holder = chosen
             self._last_holder = chosen
+            rec = self.turn_recorder
+            if rec is not None:
+                rec.turn(record.label)
             self.cv.notify_all()
             return
         self.cv.notify_all()
         live = [t for t in self.threads.values() if t.state != FINISHED]
         if live and all(t.state in (BLOCKED_LOCK, BLOCKED_JOIN) for t in live):
+            # A gate reservation can park every thread even though a lock
+            # is *free* (reserved for a recorded grantee that, after a
+            # divergence, will never ask).  A real deadlock always has its
+            # locks held, so handing any free-but-waited-on lock to its
+            # first waiter only fires on divergence, never on real cycles.
+            if self.grant_gate is not None:
+                if self._rescue_reserved_locks():
+                    self._schedule_turn()
+                    return
+                # The thread backend's deadlock semantics are
+                # victim-unwind: the thread that closed the cycle aborts
+                # alone, its lock releases let the others proceed, and the
+                # failure surfaces at the join.  The recorded grants tell
+                # us who proceeded, hence who unwound — mirror that so the
+                # replay reproduces post-deadlock output too.
+                victim = self._pick_deadlock_victim(live)
+                if victim is not None:
+                    self._abort_victim(victim, live)
+                    return
             self._declare_deadlock(live)
         # Otherwise (manual mode): threads are paused awaiting grants.
+
+    def _rescue_reserved_locks(self) -> bool:
+        """Break gate reservations on free locks (cv held); True if any
+        waiter was unparked."""
+        rescued = False
+        for name, waiters in self.lock_waiters.items():
+            if waiters and self.lock_owner.get(name) is None:
+                self.grant_gate.rescue(name)
+                next_id = waiters.popleft()
+                record = self.threads[next_id]
+                self.lock_owner[name] = next_id
+                record.state = READY
+                rec = self.turn_recorder
+                if rec is not None:
+                    rec.grant(name, record.label)
+                rescued = True
+        return rescued
+
+    def _pick_deadlock_victim(self, live: list[CoopThread]) -> CoopThread | None:
+        """The blocked thread the recording says must unwind (cv held):
+        some blocked thread W is the recorded next grantee of the lock it
+        waits for; W can only get it if the current owner unwinds — and
+        the recording having further grants proves the owner did."""
+        gate = self.grant_gate
+        for t in live:
+            if t.state != BLOCKED_LOCK or t.waiting_lock is None:
+                continue
+            front = gate._front(t.waiting_lock, self.finished_labels)
+            if front != t.label:
+                continue
+            owner = self.lock_owner.get(t.waiting_lock)
+            if owner is None:
+                continue
+            victim = self.threads.get(owner)
+            if victim is not None and victim.state == BLOCKED_LOCK:
+                return victim
+        return None
+
+    def _abort_victim(self, victim: CoopThread, live: list[CoopThread]) -> None:
+        """Abort one deadlocked thread (cv held); its unwind releases the
+        locks it holds, letting the recorded survivors continue."""
+        parts = []
+        for t in live:
+            if t.state != BLOCKED_LOCK:
+                continue
+            owner = self.lock_owner.get(t.waiting_lock or "")
+            owner_label = (self.threads[owner].label
+                           if owner is not None else "nobody")
+            parts.append(
+                f"{t.label} waits for 'lock {t.waiting_lock}' "
+                f"held by {owner_label}"
+            )
+        exc = TetraDeadlockError(
+            "deadlock detected — these threads are waiting for each other "
+            "in a cycle: " + "; ".join(parts) +
+            ". Acquire locks in a consistent order to avoid this.",
+            victim.current_span,
+            cycle=tuple(parts),
+            blocked_spans=tuple(
+                t.current_span for t in live
+                if t.state == BLOCKED_LOCK and t.current_span is not NO_SPAN
+            ),
+        )
+        waiters = self.lock_waiters.get(victim.waiting_lock or "")
+        if waiters and victim.id in waiters:
+            waiters.remove(victim.id)
+        victim.abort_exc = exc
+        self.cv.notify_all()
 
     def _declare_deadlock(self, live: list[CoopThread]) -> None:
         parts = []
@@ -279,6 +473,10 @@ class CoopScheduler:
         while True:
             if self.abort_exc is not None:
                 raise self.abort_exc
+            if record.abort_exc is not None:
+                exc = record.abort_exc
+                record.abort_exc = None
+                raise exc
             if (self.turn_holder == record.id and record.has_fresh_turn
                     and record.state == READY):
                 record.has_fresh_turn = False  # consume
@@ -310,6 +508,7 @@ class CoopScheduler:
             record.state = FINISHED
             record.error = error
             record.has_fresh_turn = False
+            self.finished_labels.add(record.label)
             if isinstance(self.policy, ScriptPolicy):
                 self.policy.finished_ids.add(record.id)
             parent = record.parent
@@ -348,9 +547,18 @@ class CoopScheduler:
                     "already inside it — Tetra locks are not re-entrant",
                     span,
                 )
-            if owner is None:
+            gate = self.grant_gate
+            if owner is None and (gate is None or gate.may_take(
+                    name, record.label, self.finished_labels)):
                 self.lock_owner[name] = ctx.id
+                if gate is not None:
+                    gate.took(name, record.label)
+                rec = self.turn_recorder
+                if rec is not None:
+                    rec.grant(name, record.label)
                 return
+            # Either the lock is held, or the gate reserves it for the
+            # recorded next grantee — park even though it is free.
             self.lock_waiters.setdefault(name, deque()).append(ctx.id)
             record.state = BLOCKED_LOCK
             record.waiting_lock = name
@@ -365,10 +573,34 @@ class CoopScheduler:
         with self.cv:
             del self.lock_owner[name]
             waiters = self.lock_waiters.get(name)
-            if waiters:
+            if not waiters:
+                return
+            gate = self.grant_gate
+            if gate is None:
                 next_id = waiters.popleft()
-                self.lock_owner[name] = next_id
-                self.threads[next_id].state = READY
+            else:
+                pairs = [(wid, self.threads[wid].label) for wid in waiters]
+                next_id = gate.pick_waiter(name, pairs, self.finished_labels)
+                if next_id is None:
+                    # Reserved: the recorded next grantee has not asked
+                    # yet; the lock stays free until it does (or the
+                    # rescue valve in _schedule_turn fires).
+                    return
+                waiters.remove(next_id)
+            record = self.threads[next_id]
+            self.lock_owner[name] = next_id
+            record.state = READY
+            if gate is not None:
+                gate.took(name, record.label)
+            rec = self.turn_recorder
+            if rec is not None and self.abort_exc is None \
+                    and record.abort_exc is None:
+                # Grants made while the program is unwinding (a deadlock
+                # abort cascading through parked waiters) are teardown
+                # mechanics, not execution: the grantee never runs another
+                # statement.  Recording them would make a replay believe
+                # the owner unwound victim-style and let survivors run on.
+                rec.grant(name, record.label)
 
     # -- controller API (the debugger) ------------------------------------
     def wait_until_paused(self, timeout: float = 10.0) -> None:
@@ -432,15 +664,28 @@ class CoopBackend(Backend):
     def __init__(self, policy: SchedulerPolicy | None = None,
                  config: RuntimeConfig | None = None):
         super().__init__(config)
+        replay = self.config.schedule_replay
         if policy is None:
             plan = self.config.fault_plan
-            if plan is not None:
+            if replay is not None:
+                policy = ReplayPolicy(replay.turns)
+            elif plan is not None:
                 # Chaos on the coop backend *is* the schedule: one seed =
                 # one exact, replayable interleaving.
                 policy = RandomPolicy(plan.schedule_seed())
             else:
                 policy = RoundRobinPolicy()
         self.scheduler = CoopScheduler(policy)
+        self.scheduler.turn_recorder = self.config.schedule_recorder
+        #: Recorded per-loop worker counts, consumed in program order so
+        #: parallel-for labels line up with the recording even when the
+        #: recording backend sized its pools differently (thread uses
+        #: cpu_count, proc offloads).  Installed independently of the
+        #: policy so the debugger (ManualPolicy) replays them too.
+        self._pfor_replay: deque[dict] = deque()
+        if replay is not None:
+            self.scheduler.grant_gate = GrantGate(replay.grants)
+            self._pfor_replay = deque(replay.pfors)
         self._background: list[threading.Thread] = []
         self._background_ctxs: list[object] = []
         #: Thread id → interpreter ThreadContext; the debugger reads call
@@ -496,6 +741,9 @@ class CoopBackend(Backend):
             self._background_ctxs.extend(records)
 
     def parallel_for_workers(self, n_items: int) -> int:
+        if self._pfor_replay:
+            recorded = self._pfor_replay.popleft()
+            return max(1, min(int(recorded["workers"]), n_items))
         workers = self.config.num_workers or 4
         return max(1, min(workers, n_items))
 

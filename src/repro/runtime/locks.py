@@ -72,6 +72,10 @@ class LockTable:
         #: Optional CancelToken; blocked acquires observe it so Ctrl-C
         #: reaches threads that are parked on a lock.
         self.cancel = None
+        #: Optional ``grant_hook(name, key)`` called (monitor held) at the
+        #: exact moment a lock changes owner — the schedule recorder's
+        #: source of per-lock grant order, barging included.
+        self.grant_hook = None
         self.stats: dict[str, LockStats] = {}
 
     # ------------------------------------------------------------------
@@ -83,6 +87,10 @@ class LockTable:
     def _label(self, key: ThreadKey) -> str:
         return self._owner_labels.get(key, f"thread {key}")
 
+    def label_for(self, key: ThreadKey) -> str:
+        """Public form of the label lookup (used by the recorder)."""
+        return self._label(key)
+
     def known_locks(self) -> list[str]:
         with self._monitor:
             return sorted(self._names)
@@ -92,7 +100,11 @@ class LockTable:
             return self._owners.get(name)
 
     # ------------------------------------------------------------------
-    def acquire(self, name: str, key: ThreadKey, span: Span = NO_SPAN) -> None:
+    def acquire(self, name: str, key: ThreadKey, span: Span = NO_SPAN,
+                on_block=None) -> None:
+        """Acquire ``name`` for ``key``; ``on_block()`` fires once (monitor
+        held) if — and only if — the acquire actually has to wait, so a
+        caller can hand off a scheduling token before parking."""
         with self._changed:
             self._names.add(name)
             stats = self.stats.setdefault(name, LockStats())
@@ -114,6 +126,8 @@ class LockTable:
                 while self._owners.get(name) is not None:
                     if wait_started is None:
                         wait_started = time.perf_counter()
+                        if on_block is not None:
+                            on_block()
                     cancel = self.cancel
                     if cancel is not None and cancel.cancelled:
                         raise TetraCancelledError(
@@ -142,6 +156,9 @@ class LockTable:
                         timeout = min(timeout, 0.05)
                     self._changed.wait(timeout=timeout)
                 self._owners[name] = key
+                hook = self.grant_hook
+                if hook is not None:
+                    hook(name, key)
             finally:
                 if wait_started is not None:
                     stats.wait_time += time.perf_counter() - wait_started

@@ -402,7 +402,15 @@ class ProcBackend(ThreadBackend):
         # Serialize concurrent dispatches (a parallel block whose children
         # each reach a parallel for): one wave through the pool at a time.
         with self._dispatch_mu:
-            return self._dispatch(interp, stmt, plan, items, ctx, jobs)
+            offloaded = self._dispatch(interp, stmt, plan, items, ctx, jobs)
+        if offloaded:
+            rec = self.config.schedule_recorder
+            if rec is not None:
+                # Worker processes emit no turns; the replay sizes its
+                # in-process pool from this record and lets round-robin
+                # fill the chunk bodies in.
+                rec.pfor(stmt.span.line, len(items), jobs, offloaded=True)
+        return offloaded
 
     def _note_fallback(self, stmt, reason: str) -> None:
         note = (stmt.span.line, reason)

@@ -33,10 +33,23 @@ class SimBackend(Backend):
         self.cores = cores
         self.cost_model = cost_model
         self.recorder = TraceRecorder()
+        #: Schedule recorder (distinct from the task-graph recorder above):
+        #: sim runs children inline in spawn order, so the schedule artifact
+        #: is simply that sequential order plus synthetic join-resume turns
+        #: matching the coop scheduler's accounting.
+        self._schedule_rec = self.config.schedule_recorder
 
     # ------------------------------------------------------------------
     # Recording hooks
     # ------------------------------------------------------------------
+    def checkpoint(self, ctx, node) -> None:
+        rec = self._schedule_rec
+        if rec is not None:
+            rec.turn(ctx.label)
+
+    def wants_checkpoints(self) -> bool:
+        return self._schedule_rec is not None
+
     def now(self) -> float:
         """Virtual time for the task currently recording: ``clock()``
         deltas under this backend equal the cost units charged between the
@@ -80,6 +93,11 @@ class SimBackend(Backend):
                 self.recorder.exit_child()
         if join:
             self.recorder.charge(cm.thread_join * len(jobs))
+        rec = self._schedule_rec
+        if rec is not None and join and jobs:
+            # Coop parents pay one turn to resume from a join; synthesize
+            # the same turn here so replayed turn sequences line up.
+            rec.turn(ctx.label)
         raise_thread_failures(failures, span,
                               "parallel" if join else "background")
 
@@ -99,6 +117,9 @@ class SimBackend(Backend):
                 "Tetra locks are not re-entrant",
                 span,
             )
+        rec = self._schedule_rec
+        if rec is not None:
+            rec.grant(name, ctx.label)
         t_acq = self.now() if obs is not None else 0.0
         try:
             body()

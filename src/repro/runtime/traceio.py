@@ -7,7 +7,12 @@ of different widths *without re-interpreting the program* (recording a
 large workload costs seconds; scheduling costs milliseconds).
 
 Used by ``tetra sim --save-trace/--load-trace`` and the benchmark suite's
-regression fixtures.
+regression fixtures.  The format-marker machinery (:func:`check_format`)
+is shared with the schedule artifacts of
+:mod:`repro.runtime.schedule`: every versioned Tetra file carries a
+``"format": "family/N"`` field, and a stale, corrupted, or
+newer-than-this-build file fails with a diagnostic that names the file
+and the offending field instead of a raw ``KeyError``.
 """
 
 from __future__ import annotations
@@ -18,8 +23,53 @@ from ..errors import TetraError
 from ..source import Span
 from .taskgraph import Access, Acquire, Fork, Release, Task, TraceItem, Work
 
-#: Format marker: bump on breaking layout changes.
-FORMAT = "tetra-trace/1"
+#: Format family/version: bump the version on breaking layout changes.
+TRACE_FORMAT_FAMILY = "tetra-trace"
+TRACE_FORMAT_VERSION = 1
+FORMAT = f"{TRACE_FORMAT_FAMILY}/{TRACE_FORMAT_VERSION}"
+
+
+def check_format(data, family: str, version: int,
+                 path: str = "<file>") -> None:
+    """Validate a ``"format": "family/N"`` marker, distinguishing the
+    three ways it can be wrong: not a Tetra file at all, a different kind
+    of Tetra file, or a version skew (recorded by a newer or older
+    build)."""
+    kind = family.split("-", 1)[-1]  # "tetra-trace" -> "trace"
+    if not isinstance(data, dict):
+        raise TetraError(
+            f"{path}: expected a JSON object at the top level, got "
+            f"{type(data).__name__} — not a Tetra {kind} file"
+        )
+    marker = data.get("format")
+    expected = f"{family}/{version}"
+    if marker == expected:
+        return
+    if marker is None:
+        raise TetraError(
+            f"{path}: missing the 'format' field — not a Tetra {kind} "
+            f"file (expected format {expected!r})"
+        )
+    if isinstance(marker, str) and marker.startswith(family + "/"):
+        found = marker.split("/", 1)[1]
+        try:
+            newer = int(found) > version
+        except ValueError:
+            newer = False
+        if newer:
+            raise TetraError(
+                f"{path}: format {marker!r} was written by a newer Tetra "
+                f"than this one (which reads {expected!r}) — upgrade "
+                "Tetra, or re-record the file with this version"
+            )
+        raise TetraError(
+            f"{path}: format {marker!r} is an old layout this Tetra no "
+            f"longer reads (expected {expected!r}) — re-record the file"
+        )
+    raise TetraError(
+        f"{path}: field 'format' is {marker!r} — not a Tetra {kind} "
+        f"file (expected {expected!r})"
+    )
 
 
 def _item_to_json(item: TraceItem) -> dict:
@@ -60,50 +110,91 @@ def trace_to_json(root: Task) -> str:
     )
 
 
-def _item_from_json(data: dict) -> TraceItem:
-    if "work" in data:
-        return Work(int(data["work"]))
-    if "acquire" in data:
-        return Acquire(str(data["acquire"]))
-    if "release" in data:
-        return Release(str(data["release"]))
-    if "access" in data:
-        raw_span = data.get("span") or [0, 0, 0, 0]
-        return Access(str(data["access"]), bool(data.get("write", False)),
-                      Span(*(int(v) for v in raw_span)))
-    if "fork" in data:
-        children = [_task_from_json(c) for c in data["fork"]]
-        return Fork(children, bool(data.get("join", True)))
-    raise TetraError(f"unrecognized trace item {sorted(data)!r}")
+def _item_from_json(data, path: str) -> TraceItem:
+    if not isinstance(data, dict):
+        raise TetraError(
+            f"{path}: malformed trace — a task item should be an object, "
+            f"got {type(data).__name__}"
+        )
+    try:
+        if "work" in data:
+            return Work(int(data["work"]))
+        if "acquire" in data:
+            return Acquire(str(data["acquire"]))
+        if "release" in data:
+            return Release(str(data["release"]))
+        if "access" in data:
+            raw_span = data.get("span") or [0, 0, 0, 0]
+            return Access(str(data["access"]),
+                          bool(data.get("write", False)),
+                          Span(*(int(v) for v in raw_span)))
+        if "fork" in data:
+            children = [_task_from_json(c, path) for c in data["fork"]]
+            return Fork(children, bool(data.get("join", True)))
+    except TetraError:
+        raise
+    except (TypeError, ValueError) as exc:
+        field = sorted(data)[0] if data else "?"
+        raise TetraError(
+            f"{path}: malformed trace — bad value in item field "
+            f"{field!r}: {exc}"
+        ) from exc
+    raise TetraError(
+        f"{path}: malformed trace — unrecognized trace item with fields "
+        f"{sorted(data)!r}"
+    )
 
 
-def _task_from_json(data: dict) -> Task:
+def _task_from_json(data, path: str) -> Task:
+    if not isinstance(data, dict):
+        raise TetraError(
+            f"{path}: malformed trace — a task record should be an "
+            f"object, got {type(data).__name__}"
+        )
+    for field in ("id", "label", "items"):
+        if field not in data:
+            raise TetraError(
+                f"{path}: malformed trace — task record is missing the "
+                f"field {field!r}"
+            )
     try:
         task = Task(int(data["id"]), str(data["label"]))
-        task.items = [_item_from_json(i) for i in data["items"]]
-    except (KeyError, TypeError, ValueError) as exc:
-        raise TetraError(f"malformed trace data: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise TetraError(
+            f"{path}: malformed trace — bad value in task field 'id': "
+            f"{exc}"
+        ) from exc
+    items = data["items"]
+    if not isinstance(items, list):
+        raise TetraError(
+            f"{path}: malformed trace — task field 'items' should be a "
+            f"list, got {type(items).__name__}"
+        )
+    task.items = [_item_from_json(i, path) for i in items]
     return task
 
 
-def trace_from_json(text: str) -> Task:
+def trace_from_json(text: str, path: str = "<trace>") -> Task:
     """Rebuild a task tree from :func:`trace_to_json` output.
 
-    Validates the format marker and id uniqueness so a stale or corrupted
-    file fails with a diagnostic instead of a wedged simulation.
-    """
+    Validates the format marker, the record layout, and id uniqueness so
+    a stale or corrupted file fails with a diagnostic naming the file and
+    the offending field instead of a wedged simulation."""
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise TetraError(f"trace file is not valid JSON: {exc}") from exc
-    if not isinstance(data, dict) or data.get("format") != FORMAT:
         raise TetraError(
-            f"not a Tetra trace file (expected format {FORMAT!r})"
+            f"{path}: trace file is not valid JSON: {exc}"
+        ) from exc
+    check_format(data, TRACE_FORMAT_FAMILY, TRACE_FORMAT_VERSION, path)
+    if "root" not in data:
+        raise TetraError(
+            f"{path}: malformed trace — missing the 'root' task"
         )
-    root = _task_from_json(data["root"])
+    root = _task_from_json(data["root"], path)
     ids = [t.id for t in root.walk()]
     if len(ids) != len(set(ids)):
-        raise TetraError("trace file has duplicate task ids")
+        raise TetraError(f"{path}: trace file has duplicate task ids")
     return root
 
 
@@ -113,5 +204,11 @@ def save_trace(root: Task, path: str) -> None:
 
 
 def load_trace(path: str) -> Task:
-    with open(path, "r", encoding="utf-8") as handle:
-        return trace_from_json(handle.read())
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise TetraError(
+            f"cannot read trace file {path}: {exc.strerror or exc}"
+        ) from exc
+    return trace_from_json(text, path)

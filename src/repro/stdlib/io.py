@@ -89,3 +89,38 @@ class CapturingIO(IOChannel):
     def clear(self) -> None:
         with self._write_lock:
             self._chunks.clear()
+
+
+class TeeIO(CapturingIO):
+    """A :class:`CapturingIO` that stays interactive.
+
+    Writes echo to real stdout as they happen and ``read_line`` falls back
+    to real stdin when no pre-loaded input remains, remembering every line
+    the program consumed.  ``tetra run --record-schedule`` uses this so
+    the schedule artifact can embed the run's exact output and inputs
+    while the program still talks to the console.
+    """
+
+    def __init__(self, inputs: Iterable[str] = ()):
+        super().__init__(inputs)
+        #: Every line ``read_line`` handed to the program, in order —
+        #: the artifact's ``inputs`` field, so a replay re-feeds them.
+        self.consumed: list[str] = []
+
+    def write(self, text: str) -> None:
+        with self._write_lock:
+            self._chunks.append(text)
+            sys.stdout.write(text)
+            sys.stdout.flush()
+
+    def read_line(self, span: Span = NO_SPAN) -> str:
+        try:
+            line = self._inputs.popleft()
+        except IndexError:
+            raw = sys.stdin.readline()
+            if raw == "":
+                raise TetraIOError("end of input while reading",
+                                   span) from None
+            line = raw.rstrip("\n")
+        self.consumed.append(line)
+        return line

@@ -51,6 +51,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     from ..resilience import CancelToken, install_sigint
 
     token = CancelToken()
+    recorder = None
+    record_io = None
+    if args.record_schedule is not None:
+        from ..runtime.schedule import ScheduleRecorder
+        from ..stdlib.io import TeeIO
+
+        recorder = ScheduleRecorder()
+        record_io = TeeIO()
     config = RuntimeConfig(
         num_workers=workers,
         chunking=args.chunking,
@@ -63,9 +71,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         memory_limit=args.memory_limit,
         cancel=token,
         chaos_seed=args.chaos,
+        schedule_recorder=recorder,
     )
     interp = None
     code = 0
+    run_error = None
     try:
         from ..api import cached_program
 
@@ -76,12 +86,14 @@ def cmd_run(args: argparse.Namespace) -> int:
                         or args.profile)),
         )
         backend = BACKEND_FACTORIES[args.backend](config=config)
-        interp = Interpreter(program, source, backend=backend)
+        interp = Interpreter(program, source, backend=backend,
+                             io=record_io)
         # Ctrl-C cancels the token; the program unwinds through the normal
         # error path, so the partial race/metrics reports below still print.
         with install_sigint(token):
             interp.run()
     except TetraError as exc:
+        run_error = exc
         print(exc.attach_source(source).render(), file=sys.stderr)
         code = exit_code_for(exc)
     if args.chaos is not None and config.fault_plan is not None:
@@ -116,6 +128,52 @@ def cmd_run(args: argparse.Namespace) -> int:
             from ..obs import render_profile
 
             print(render_profile(obs, source), file=sys.stderr)
+    if recorder is not None and interp is not None:
+        # Recorded even when the run aborted: a deadlocking or racing run
+        # is exactly the one worth replaying.
+        from ..api import _abort_kind
+        from ..runtime.schedule import build_artifact, save_schedule
+
+        plan = config.fault_plan
+        artifact = build_artifact(
+            recorder, source_text=source.text, name=args.file,
+            entry="main", backend_name=interp.backend.name, config=config,
+            inputs=record_io.consumed, output=record_io.output,
+            status=_abort_kind(run_error) if run_error is not None else "ok",
+            races=interp.races,
+            fault_counts=dict(plan.counts) if plan is not None else {},
+        )
+        save_schedule(artifact, args.record_schedule)
+        print(f"schedule recorded to {args.record_schedule} — replay it "
+              f"with: tetra replay {args.record_schedule}", file=sys.stderr)
+    return code
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Deterministically re-run a recorded schedule artifact."""
+    from ..errors import EXIT_RACES, exit_code_for
+    from ..runtime.schedule import load_schedule, replay_schedule
+
+    try:
+        schedule = load_schedule(args.file)
+        result = replay_schedule(schedule, cache=not args.no_cache,
+                                 time_limit=args.time_limit)
+    except TetraError as exc:
+        print(exc.render(), file=sys.stderr)
+        return exit_code_for(exc)
+    sys.stdout.write(result.output)
+    code = 0
+    source = SourceFile.from_string(schedule.source, schedule.name)
+    if result.error is not None:
+        print(result.error.attach_source(source).render(), file=sys.stderr)
+        code = exit_code_for(result.error)
+    if schedule.detect_races:
+        from ..analysis import render_race_panel
+
+        print(render_race_panel(result.races, source), file=sys.stderr)
+        if result.races and code == 0:
+            code = EXIT_RACES
+    print(result.replay.render(), file=sys.stderr)
     return code
 
 
@@ -185,11 +243,15 @@ def cmd_highlight(args: argparse.Namespace) -> int:
 
 
 def cmd_dbg(args: argparse.Namespace) -> int:
-    source = _read(args.file)
     from ..ide.tui import debug_main
 
+    if args.file is None and args.replay is None:
+        print("tetra: dbg needs a program file or --replay FILE",
+              file=sys.stderr)
+        return 2
+    text = _read(args.file).text if args.file is not None else None
     try:
-        debug_main(source.text)
+        debug_main(text, replay=args.replay)
     except TetraError as exc:
         print(exc.render(), file=sys.stderr)
         return 1
@@ -288,6 +350,7 @@ def cmd_stress(args: argparse.Namespace) -> int:
             source.text, name=args.file, seeds=args.seeds,
             first_seed=args.first_seed, backends=backends,
             detect_races=not args.no_races, time_limit=args.time_limit,
+            artifact_dir=args.artifacts,
         )
     except TetraError as exc:
         # Compile-time failures (syntax/type errors) abort the whole matrix.
@@ -374,7 +437,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run under a seeded fault-injection plan: "
                           "preemption jitter and lock delays on the thread "
                           "backend, seeded schedules on coop/sim")
+    run.add_argument("--record-schedule", default=None, metavar="FILE",
+                     help="record this run's exact interleaving (turns, "
+                          "lock grants, parallel-for shapes, faults) as a "
+                          "replayable tetra-schedule JSON artifact")
     run.set_defaults(func=cmd_run)
+
+    replay = sub.add_parser(
+        "replay",
+        help="deterministically re-run a recorded schedule artifact "
+             "(from 'run --record-schedule' or 'stress --artifacts')",
+    )
+    replay.add_argument("file", help="a .schedule.json artifact")
+    replay.add_argument("--no-cache", action="store_true",
+                        help="bypass the compiled-program cache")
+    replay.add_argument("--time-limit", type=float, default=0.0,
+                        metavar="T",
+                        help="abort the replay after T virtual units "
+                             "(coop clock)")
+    replay.set_defaults(func=cmd_replay)
 
     check = sub.add_parser("check", help="type-check without running")
     check.add_argument("file")
@@ -402,7 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
     hl.set_defaults(func=cmd_highlight)
 
     dbg = sub.add_parser("dbg", help="interactive parallel debugger")
-    dbg.add_argument("file")
+    dbg.add_argument("file", nargs="?", default=None)
+    dbg.add_argument("--replay", default=None, metavar="FILE",
+                     help="debug a recorded schedule artifact: 'rs' steps "
+                          "the exact recorded interleaving turn by turn")
     dbg.set_defaults(func=cmd_dbg)
 
     sim = sub.add_parser(
@@ -451,6 +535,10 @@ def build_parser() -> argparse.ArgumentParser:
     stress.add_argument("--time-limit", type=float, default=0.0, metavar="T",
                         help="per-run time limit on the backend clock "
                              "(default: 10s host / 200000 virtual units)")
+    stress.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="record every cell and persist the schedules "
+                             "of failing/divergent cells to DIR as "
+                             "replayable artifacts")
     stress.set_defaults(func=cmd_stress)
 
     repl = sub.add_parser("repl", help="interactive Tetra session")
