@@ -1,0 +1,172 @@
+"""Load benchmark for the hosted execution service (``tetra serve``).
+
+Boots a real :class:`~repro.serve.TetraServer` on an ephemeral port and
+drives it with concurrent HTTP clients the way a classroom would: most
+requests are the *same assignment source* (exercising the shared
+compiled-program cache), a few are per-student variants, and a sprinkle
+are broken programs that must be rejected at the front door without
+costing a sandbox worker.
+
+Reported: sustained requests/second, p50/p99 end-to-end latency, and the
+program-cache hit rate.  Run as a script — ``python benchmarks/
+bench_serve.py --smoke --json BENCH_serve_throughput.json`` is the CI
+invocation; drop ``--smoke`` for the full measurement.
+"""
+
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+ASSIGNMENT = (
+    "def main():\n"
+    "    total = 0\n"
+    "    for i in [1 ... 40]:\n"
+    "        total = total + i * i\n"
+    "    print(total)\n"
+)
+BROKEN = "def main(:\n"
+
+#: Of every 10 requests: 7 are the shared assignment, 2 are per-client
+#: variants (cache misses), 1 is broken (rejected pre-sandbox).
+MIX_SHARED, MIX_VARIANT = 7, 2
+
+
+def _request(base: str, payload: dict, tenant: str):
+    req = urllib.request.Request(
+        base + "/api/run", data=json.dumps(payload).encode("utf-8"),
+        headers={"X-Tetra-Tenant": tenant})
+    t0 = time.perf_counter()
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            body = json.loads(resp.read())
+            status = resp.status
+    except urllib.error.HTTPError as err:
+        body = json.loads(err.read())
+        status = err.code
+    return time.perf_counter() - t0, status, body
+
+
+def run_load(total: int, clients: int, workers: int) -> dict:
+    from repro.api import clear_program_cache
+    from repro.serve import ExecutionService, ServeConfig, TetraServer
+
+    clear_program_cache()
+    config = ServeConfig(port=0, workers=workers,
+                         rate=100_000.0, burst=100_000,
+                         max_concurrent=1_000, max_queue=total + clients)
+    service = ExecutionService(config)
+    server = TetraServer(("127.0.0.1", 0), service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    def one(i: int):
+        slot = i % 10
+        if slot < MIX_SHARED:
+            payload, expect = {"source": ASSIGNMENT}, 200
+        elif slot < MIX_SHARED + MIX_VARIANT:
+            payload = {"source": ASSIGNMENT
+                       + f"\ndef variant{i}():\n    print({i})\n"}
+            expect = 200
+        else:
+            payload, expect = {"source": BROKEN}, 422
+        elapsed, status, body = _request(base, payload, f"client-{i % 8}")
+        assert status == expect, (status, body)
+        if status == 200:
+            assert body["output"] == "22140\n", body
+        return elapsed, status
+
+    try:
+        # Warm the pool and the cache out of the measured window.
+        for i in range(workers + 1):
+            one(i * 10)  # shared-source slots only
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            measured = list(pool.map(one, range(total)))
+        wall = time.perf_counter() - t0
+        stats = service.stats()
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
+
+    latencies = sorted(ms for ms, _ in measured)
+    rejected = sum(1 for _, status in measured if status == 422)
+    return {
+        "requests": total,
+        "clients": clients,
+        "pool_workers": workers,
+        "wall_seconds": round(wall, 4),
+        "requests_per_second": round(total / wall, 2),
+        "latency_ms": {
+            "p50": round(statistics.median(latencies) * 1000, 2),
+            "p99": round(latencies[int(len(latencies) * 0.99) - 1]
+                         * 1000, 2),
+            "max": round(latencies[-1] * 1000, 2),
+        },
+        "cache_hit_rate": round(stats["program_cache"]["hit_rate"], 4),
+        "compile_rejects": rejected,
+        "pool": {k: stats["pool"][k]
+                 for k in ("served", "crashed", "recycled")},
+    }
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="tetra serve load benchmark: req/s, p99, cache hits",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small request count, short run (CI)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the measurements as JSON")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="override the request count")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads (default 8)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="sandbox pool size (default 2)")
+    args = parser.parse_args(argv)
+
+    total = args.requests or (40 if args.smoke else 200)
+    cores = os.cpu_count() or 1
+    print(f"tetra serve load: {total} requests, {args.clients} clients, "
+          f"{args.workers} sandbox workers, {cores} core(s)")
+    result = run_load(total, args.clients, args.workers)
+    print(f"  throughput: {result['requests_per_second']:8.1f} req/s "
+          f"({result['wall_seconds']:.2f}s wall)")
+    lat = result["latency_ms"]
+    print(f"  latency:    p50 {lat['p50']:.1f} ms   "
+          f"p99 {lat['p99']:.1f} ms   max {lat['max']:.1f} ms")
+    print(f"  cache:      {result['cache_hit_rate']:.1%} hit rate   "
+          f"{result['compile_rejects']} compile rejects "
+          "(cost no sandbox time)")
+    print(f"  pool:       {result['pool']['served']} served, "
+          f"{result['pool']['crashed']} crashed, "
+          f"{result['pool']['recycled']} recycled")
+
+    if args.json:
+        payload = {
+            "benchmark": "serve_throughput",
+            "mode": "smoke" if args.smoke else "full",
+            "machine_cores": cores,
+            **result,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

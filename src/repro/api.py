@@ -137,6 +137,11 @@ _cache: OrderedDict[tuple, tuple[Program, SourceFile]] = OrderedDict()
 _cache_lock = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
+#: Single-flight tracking: key -> Event set when the leading compile of
+#: that key finishes (successfully or not).  Guarded by ``_cache_lock``.
+#: Forked worker processes must reset this alongside ``_cache_lock`` — an
+#: inherited Event copy would never be set in the child.
+_inflight: dict[tuple, threading.Event] = {}
 
 
 def cached_program(text: str, name: str = "<string>",
@@ -157,25 +162,48 @@ def cached_program(text: str, name: str = "<string>",
     pass their flag tuple here so an instrumented run never shares a
     cached tree with an uninstrumented one (each variant gets its own
     entry).
+
+    Concurrent misses on the same key are **single-flight**: the first
+    caller compiles while the rest wait on its result, so N simultaneous
+    requests for the same program (the ``tetra serve`` steady state) cost
+    one compile and record one miss — the losers used to compile too and
+    silently discard their trees.  A failed leading compile wakes the
+    waiters to retry, so each of them still raises its own diagnostic.
     """
     global _cache_hits, _cache_misses
     if not cache:
         return compile_source(text, name)
     key = (hashlib.sha256(text.encode("utf-8")).hexdigest(), name, entry,
            flags)
-    with _cache_lock:
-        cached = _cache.get(key)
-        if cached is not None:
-            _cache.move_to_end(key)
-            _cache_hits += 1
-            return cached
-        _cache_misses += 1
-    compiled = compile_source(text, name)
+    while True:
+        with _cache_lock:
+            cached = _cache.get(key)
+            if cached is not None:
+                _cache.move_to_end(key)
+                _cache_hits += 1
+                return cached
+            waiter = _inflight.get(key)
+            if waiter is None:
+                _inflight[key] = threading.Event()
+                _cache_misses += 1
+                break
+        waiter.wait()
+    try:
+        compiled = compile_source(text, name)
+    except BaseException:
+        with _cache_lock:
+            done = _inflight.pop(key, None)
+        if done is not None:
+            done.set()
+        raise
     with _cache_lock:
         _cache[key] = compiled
         _cache.move_to_end(key)
         while len(_cache) > _CACHE_CAPACITY:
             _cache.popitem(last=False)
+        done = _inflight.pop(key, None)
+    if done is not None:
+        done.set()
     return compiled
 
 
@@ -270,8 +298,10 @@ def run_source(text: str, inputs: list[str] | None = None,
                trace: bool = False, metrics: bool = False,
                profile: bool = False,
                time_limit: float = 0.0, memory_limit: int = 0,
+               output_limit: int = 0,
                cancel: object = None, chaos_seed: int | None = None,
                record_schedule: bool = False, replay: object = None,
+               io: CapturingIO | None = None,
                on_error: str = "raise") -> RunResult:
     """Compile and run Tetra source, capturing console output.
 
@@ -289,7 +319,9 @@ def run_source(text: str, inputs: list[str] | None = None,
     Guardrails and chaos (DESIGN.md §6f): ``time_limit`` aborts the run
     after that much backend-clock time (host seconds on thread/sequential,
     virtual units on sim/coop), ``memory_limit`` caps live value-heap
-    cells, ``cancel`` takes a :class:`~repro.resilience.CancelToken`
+    cells (and derives a captured-output cap so print loops are bounded
+    too), ``output_limit`` caps printed characters explicitly, ``cancel``
+    takes a :class:`~repro.resilience.CancelToken`
     observed at every statement, and ``chaos_seed`` runs the program under
     a seeded :class:`~repro.resilience.FaultPlan` (injected faults land in
     :attr:`RunResult.faults`).  ``on_error="return"`` reports a failed run
@@ -343,6 +375,8 @@ def run_source(text: str, inputs: list[str] | None = None,
         overrides["time_limit"] = time_limit
     if memory_limit:
         overrides["memory_limit"] = memory_limit
+    if output_limit:
+        overrides["output_limit"] = output_limit
     if cancel is not None:
         overrides["cancel"] = cancel
     if chaos_seed is not None:
@@ -383,7 +417,11 @@ def run_source(text: str, inputs: list[str] | None = None,
         backend_obj = factory() if config is None else _construct(factory, config)
     else:
         backend_obj = backend
-    io = CapturingIO(inputs or [])
+    # An embedder (the serve worker, the IDE pane) may bring its own
+    # channel — e.g. one that streams chunks as they are written; it then
+    # owns the input lines too.
+    if io is None:
+        io = CapturingIO(inputs or [])
     interp = Interpreter(program, source, backend=backend_obj, io=io,
                          config=config, fast=fast)
     error = None
@@ -435,20 +473,32 @@ def _construct(factory, config: RuntimeConfig):
 def run_file(path: str, inputs: list[str] | None = None,
              backend: str | Backend = "thread",
              config: RuntimeConfig | None = None,
+             entry: str = "main",
              detect_races: bool = False,
              cache: bool = True, fast: bool = True,
              trace: bool = False, metrics: bool = False,
              profile: bool = False,
              time_limit: float = 0.0, memory_limit: int = 0,
+             output_limit: int = 0,
              cancel: object = None, chaos_seed: int | None = None,
-             record_schedule: bool = False,
+             record_schedule: bool = False, replay: object = None,
+             io: CapturingIO | None = None,
              on_error: str = "raise") -> RunResult:
-    """Compile and run a ``.ttr`` file."""
+    """Compile and run a ``.ttr`` file.
+
+    Takes every knob :func:`run_source` takes (``name`` excepted — the
+    file path is the program's name): in particular ``entry=`` runs a
+    function other than ``main`` and ``replay=`` re-runs the file under a
+    recorded schedule artifact, which used to be reachable only through
+    ``run_source``.
+    """
     source = SourceFile.from_path(path)
     return run_source(source.text, inputs, backend, config, name=path,
+                      entry=entry,
                       detect_races=detect_races, cache=cache, fast=fast,
                       trace=trace, metrics=metrics, profile=profile,
                       time_limit=time_limit, memory_limit=memory_limit,
+                      output_limit=output_limit,
                       cancel=cancel, chaos_seed=chaos_seed,
-                      record_schedule=record_schedule,
-                      on_error=on_error)
+                      record_schedule=record_schedule, replay=replay,
+                      io=io, on_error=on_error)

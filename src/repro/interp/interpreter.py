@@ -180,6 +180,18 @@ class Interpreter:
             from ..resilience.guard import HeapMeter
 
             self._heap = HeapMeter(self.config.memory_limit)
+        # Captured output is invisible to the HeapMeter (it counts value
+        # cells, not console chunks), so the memory guardrail alone used to
+        # leave `while: print(...)` unbounded.  The cap lives in the IO
+        # channel itself — every write is metered — armed here from the
+        # explicit output_limit or derived from memory_limit.
+        out_cap = self.config.output_limit
+        if not out_cap and self.config.memory_limit:
+            from ..resilience.guard import OUTPUT_CHARS_PER_CELL
+
+            out_cap = self.config.memory_limit * OUTPUT_CHARS_PER_CELL
+        if out_cap:
+            self.io.set_output_limit(out_cap)
         self._stmt_dispatch = {
             ExprStmt: self._exec_expr_stmt,
             Assign: self._exec_assign,

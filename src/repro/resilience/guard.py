@@ -25,6 +25,12 @@ import weakref
 from ..errors import TetraCancelledError, TetraLimitError
 from ..source import NO_SPAN, Span
 
+#: Output charged per heap cell when ``memory_limit`` is set without an
+#: explicit ``output_limit``: the interpreter then caps captured output at
+#: ``memory_limit * OUTPUT_CHARS_PER_CELL`` characters, so a print loop
+#: cannot grow the console buffer past (roughly) the value-heap budget.
+OUTPUT_CHARS_PER_CELL = 64
+
 
 class HeapMeter:
     """Counts live Tetra value-heap cells against ``memory_limit``.

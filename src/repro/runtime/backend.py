@@ -111,6 +111,13 @@ class RuntimeConfig:
     #: Abort when the live value heap exceeds this many container cells
     #: (array/dict elements, tuple items, object fields; 0 = unlimited).
     memory_limit: int = 0
+    #: Abort after the program has printed this many characters (0 =
+    #: unlimited).  When unset but ``memory_limit`` is, the interpreter
+    #: derives ``memory_limit * OUTPUT_CHARS_PER_CELL`` so captured output
+    #: — which the :class:`~repro.resilience.guard.HeapMeter` cannot see —
+    #: is still bounded (an unbounded print loop is an OOM vector for any
+    #: hosted run).
+    output_limit: int = 0
     #: Cooperative cancellation token (SIGINT, IDE stop button, watchdogs).
     #: Checked at every statement boundary when set.
     cancel: object = None

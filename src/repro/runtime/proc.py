@@ -189,8 +189,12 @@ def _worker_main(worker_index: int, task_q, result_q, source_text: str,
         # Under fork this process inherited the parent's cache lock *in
         # the held state* (the pool acquires it around Process.start so no
         # other parent thread can be mid-critical-section at fork time).
-        # We are single-threaded here; swap in a fresh lock.
+        # We are single-threaded here; swap in a fresh lock.  The in-flight
+        # single-flight table is inherited too, and a forked copy of a
+        # parent thread's compile-in-progress Event would never be set in
+        # this process — drop it so this worker compiles for itself.
         api_mod._cache_lock = threading.Lock()
+        api_mod._inflight = {}
         # Offload only happens on uninstrumented runs, so ask for the same
         # (races=False, obs=False) cache variant the parent compiled —
         # under fork the inherited entry makes this bootstrap free.
@@ -350,9 +354,9 @@ class ProcBackend(ThreadBackend):
         normal in-process thread path."""
         cfg = self.config
         if cfg.detect_races or cfg.profile or cfg.step_limit \
-                or cfg.memory_limit:
+                or cfg.memory_limit or cfg.output_limit:
             # Per-statement instrumentation (race events, line counters,
-            # step budgets, the heap meter) lives in this process.
+            # step budgets, the heap/output meters) lives in this process.
             return False
         if interp.source is None or len(items) < 2:
             return False

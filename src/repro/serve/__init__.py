@@ -1,0 +1,45 @@
+"""``tetra serve`` — the hosted, multi-tenant execution service.
+
+A long-running front door that accepts Tetra source + inputs + options
+over HTTP (or WebSocket), runs each request in a sandboxed worker
+process with the usual guardrails (time / memory / steps / output),
+streams output live, and shares one compiled-program cache across all
+tenants.  See README "Hosted execution (`tetra serve`)" and DESIGN.md §7.
+
+Layering (each file one concern):
+
+    protocol.py   request validation, limit clamping, exit→HTTP mapping
+    quotas.py     per-tenant token-bucket rate + concurrency quotas
+    pool.py       the sandbox worker pool (fork, stream, cancel, watchdog)
+    service.py    ExecutionService — validate → admit → compile → run
+    ws.py         minimal RFC 6455 framing (server and test-client side)
+    http.py       the ThreadingHTTPServer transport and ``serve()`` loop
+"""
+
+from .http import TetraServeHandler, TetraServer, serve
+from .pool import RunHandle, RunnerPool
+from .protocol import (
+    EXIT_HTTP_STATUS,
+    ServeConfig,
+    ServeError,
+    http_status_for_exit,
+    validate_request,
+)
+from .quotas import TenantQuotas
+from .service import ANONYMOUS, ExecutionService
+
+__all__ = [
+    "ANONYMOUS",
+    "EXIT_HTTP_STATUS",
+    "ExecutionService",
+    "RunHandle",
+    "RunnerPool",
+    "ServeConfig",
+    "ServeError",
+    "TenantQuotas",
+    "TetraServeHandler",
+    "TetraServer",
+    "http_status_for_exit",
+    "serve",
+    "validate_request",
+]

@@ -1,0 +1,625 @@
+"""Sandboxed run workers for ``tetra serve``.
+
+Each worker is a separate OS **process** — the unit of isolation the
+hosted scenario needs: a crashed or OOM-killed student program takes down
+its own worker, never the server or a sibling tenant's run.  The design
+borrows the proc backend's shape (persistent processes that bootstrap
+through the sha-keyed program cache — free under ``fork``, which inherits
+the parent's warm cache) but serves *whole requests* instead of loop
+chunks:
+
+* One duplex :func:`multiprocessing.Pipe` per worker.  A killed worker
+  corrupts nothing shared — the parent sees EOF on that worker's pipe and
+  respawns it, which is what makes **cancel-by-kill** and crash recovery
+  safe (a shared queue's internal lock could be held by the victim).
+* Output **streams**: the worker runs the program with an IO channel that
+  forwards every chunk to the parent as it is written, so ``/api/stream``
+  and the WebSocket endpoint show output live.
+* Workers **recycle** after ``recycle_after`` requests: the parent retires
+  the old process and starts a fresh one *before* routing more work to
+  it, reclaiming whatever a thousand student programs leaked.
+* A parent-side **watchdog** kills any worker that blows well past its
+  run's time limit — the in-worker guardrail fires at statement
+  boundaries, so a run wedged inside a join or a blocking wait still
+  cannot hold a sandbox slot forever.
+
+Workers are *not* daemonic: a request may pick ``backend=proc``, and the
+proc backend's own pool processes must be legal children.  Orphan safety
+comes from the pipe instead — when the parent dies, the worker's next
+``recv`` raises EOF and it exits.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import signal
+import threading
+import traceback
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
+
+from ..errors import (
+    EXIT_CANCELLED,
+    EXIT_LIMIT,
+    EXIT_RACES,
+    TetraError,
+    exit_code_for,
+)
+from ..stdlib.builtin_time import monotonic_clock
+from ..stdlib.io import CapturingIO
+from .protocol import ServeError
+
+#: Statuses the pool itself produces (workers produce run statuses).
+_CRASH_RESULT = "the worker process died mid-run (crashed or OOM-killed)"
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+#: Serializes every send on the worker's pipe: program threads stream
+#: output concurrently, and the final result must not interleave.
+_send_mu = threading.Lock()
+
+
+class _StreamIO(CapturingIO):
+    """A :class:`CapturingIO` that also ships each chunk to the parent the
+    moment it is written — the live half of ``/api/stream``."""
+
+    def __init__(self, conn, req_id: str, inputs):
+        super().__init__(inputs)
+        self._conn = conn
+        self._req_id = req_id
+
+    def write(self, text: str) -> None:
+        with self._write_lock:
+            self._chunks.append(text)
+            over = self._meter(text)
+        if not over:
+            with _send_mu:
+                try:
+                    self._conn.send(("out", self._req_id, text))
+                except (BrokenPipeError, OSError):
+                    pass  # parent gone; the run still completes locally
+        if over:
+            self._overflow()
+
+
+def _run_request(conn, req: dict) -> dict:
+    """Execute one validated request; everything in the result is plain
+    picklable data (diagnostics pre-rendered worker-side)."""
+    from ..api import run_source
+    from ..analysis import render_race_panel
+    from ..runtime import RuntimeConfig
+    from ..source import SourceFile
+
+    io = _StreamIO(conn, req["id"], req.get("inputs") or ())
+    config = RuntimeConfig(
+        num_workers=req.get("workers"),
+        chunking=req.get("chunking", "block"),
+        step_limit=req["step_limit"],
+    )
+    # The service's time budget is host seconds; sim/coop clocks tick
+    # virtual units, where "5.0" would abort a healthy run instantly.
+    # Deterministic backends are bounded by the step limit and the parent
+    # watchdog instead.
+    host_clock = req["backend"] in ("thread", "sequential", "proc")
+    t0 = monotonic_clock()
+    try:
+        result = run_source(
+            req["source"],
+            backend=req["backend"],
+            name=req.get("name", "<request>"),
+            entry=req.get("entry", "main"),
+            detect_races=req["detect_races"],
+            metrics=req["metrics"],
+            time_limit=req["time_limit"] if host_clock else 0.0,
+            memory_limit=req["memory_limit"],
+            output_limit=req["output_limit"],
+            chaos_seed=req.get("chaos_seed"),
+            record_schedule=req.get("record_schedule", False),
+            config=config,
+            io=io,
+            on_error="return",
+        )
+    except TetraError as exc:
+        # Compile-time diagnostics raise even under on_error="return";
+        # the parent pre-compiles so this is the rare cache-variant case.
+        source = SourceFile.from_string(req["source"],
+                                        req.get("name", "<request>"))
+        return {
+            "status": "error",
+            "phase": "compile",
+            "exit_code": exit_code_for(exc),
+            "output": io.output,
+            "error": exc.attach_source(source).render(),
+            "races": None,
+            "race_count": 0,
+            "metrics": None,
+            "schedule": None,
+            "wall_ms": (monotonic_clock() - t0) * 1000.0,
+        }
+    wall_ms = (monotonic_clock() - t0) * 1000.0
+    code = 0
+    error_text = None
+    if result.error is not None:
+        code = exit_code_for(result.error)
+        source = SourceFile.from_string(req["source"],
+                                        req.get("name", "<request>"))
+        error_text = result.error.attach_source(source).render()
+    races_text = None
+    if req["detect_races"]:
+        source = SourceFile.from_string(req["source"],
+                                        req.get("name", "<request>"))
+        races_text = render_race_panel(result.races, source)
+        if result.races and code == 0:
+            code = EXIT_RACES
+    return {
+        "status": result.aborted_by or "ok",
+        "phase": "run",
+        "exit_code": code,
+        "output": result.output,
+        "error": error_text,
+        "races": races_text,
+        "race_count": len(result.races),
+        "metrics": result.metrics.render() if result.metrics is not None
+        else None,
+        "schedule": result.schedule,
+        "wall_ms": wall_ms,
+    }
+
+
+def _worker_main(conn, worker_index: int) -> None:
+    """One sandbox worker: serve requests off the pipe until retirement
+    (a ``None`` message), parent death (EOF), or a kill."""
+    def _term(signum, frame):
+        raise SystemExit(128 + signum)
+
+    try:
+        # The parent coordinates shutdown; Ctrl-C at the server terminal
+        # must not kill workers out from under it.  SIGTERM (cancel /
+        # watchdog) raises SystemExit so multiprocessing's atexit cleanup
+        # still reaps any proc-backend grandchildren.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, _term)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    # Under fork this process inherited the parent's program-cache lock
+    # (acquired around Process.start, so never mid-critical-section) and
+    # single-flight table; both must be reset — an inherited in-flight
+    # Event would never be set in this process.
+    from .. import api as api_mod
+
+    api_mod._cache_lock = threading.Lock()
+    api_mod._inflight = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # parent gone
+        except KeyboardInterrupt:  # pragma: no cover - masked above
+            return
+        if msg is None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        try:
+            payload = _run_request(conn, msg)
+        except (SystemExit, KeyboardInterrupt):
+            # A cancel/watchdog SIGTERM mid-run: die as asked — catching
+            # it here would leave a "killed" worker alive and recv-ing.
+            raise
+        except BaseException:  # noqa: BLE001 - shipped to the parent
+            payload = {
+                "status": "error",
+                "phase": "internal",
+                "exit_code": 1,
+                "output": "",
+                "error": "internal error in the serve worker:\n"
+                         + traceback.format_exc(),
+                "races": None,
+                "race_count": 0,
+                "metrics": None,
+                "schedule": None,
+                "wall_ms": 0.0,
+            }
+        with _send_mu:
+            try:
+                conn.send(("done", msg["id"], payload))
+            except (BrokenPipeError, OSError):
+                return
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class RunHandle:
+    """The parent's view of one submitted request: a stream of
+    ``("out", text)`` events ending in ``("done", result)``."""
+
+    def __init__(self, request: dict):
+        self.request = request
+        self.id = request["id"]
+        self.events: queue_mod.Queue = queue_mod.Queue()
+        self.result: dict | None = None
+        self.done = threading.Event()
+        self.worker_pid: int | None = None
+        self.started_at: float | None = None
+        #: Called exactly once with the result (quota release hooks).
+        self.on_done = None
+
+    def finish(self, result: dict) -> None:
+        if self.done.is_set():
+            return
+        self.result = result
+        self.done.set()
+        self.events.put(("done", result))
+        hook, self.on_done = self.on_done, None
+        if hook is not None:
+            hook(result)
+
+    def wait(self, timeout: float | None = None) -> dict:
+        """Block until the run finishes; raises ``ServeError(504)`` on
+        timeout (the pool watchdog normally fires first)."""
+        if not self.done.wait(timeout):
+            raise ServeError(504, "the run did not finish in time")
+        return self.result
+
+
+def _pool_result(status: str, exit_code: int, message: str) -> dict:
+    """A result the *pool* synthesizes when no worker payload exists
+    (crash, cancellation, shutdown, watchdog kill)."""
+    return {
+        "status": status,
+        "phase": "serve",
+        "exit_code": exit_code,
+        "output": "",
+        "error": message,
+        "races": None,
+        "race_count": 0,
+        "metrics": None,
+        "schedule": None,
+        "wall_ms": 0.0,
+    }
+
+
+class _Worker:
+    __slots__ = ("index", "proc", "conn", "handle", "served")
+
+    def __init__(self, index, proc, conn):
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.handle: RunHandle | None = None
+        self.served = 0
+
+
+class RunnerPool:
+    """A persistent set of sandbox workers plus the routing thread."""
+
+    def __init__(self, size: int = 2, recycle_after: int = 0,
+                 max_queue: int = 32, watchdog_grace: float = 3.0):
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(method)
+        self._mu = threading.Lock()
+        self._workers: dict[int, _Worker] = {}
+        self._handles: dict[str, RunHandle] = {}
+        self._pending: deque[RunHandle] = deque()
+        self._retired: list = []
+        self._next_index = 0
+        self._closed = False
+        self.size = max(1, int(size))
+        self.recycle_after = int(recycle_after)
+        self.max_queue = int(max_queue)
+        self.watchdog_grace = float(watchdog_grace)
+        self.served = 0
+        self.crashed = 0
+        self.recycled = 0
+        self.cancelled = 0
+        self.watchdog_kills = 0
+        with self._mu:
+            for _ in range(self.size):
+                self._spawn_locked()
+        self._router = threading.Thread(target=self._route,
+                                        name="tetra-serve-router",
+                                        daemon=True)
+        self._router.start()
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn_locked(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        index = self._next_index
+        self._next_index += 1
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, index),
+            name=f"tetra-serve-worker-{index}",
+            daemon=False,  # may parent a proc-backend pool
+        )
+        # Under fork a child inherits every mutex as-is; hold the program
+        # cache's lock across the fork so the worker never inherits it
+        # mid-critical-section (same dance as the proc backend's pool).
+        from ..api import _cache_lock
+
+        with _cache_lock:
+            proc.start()
+        child_conn.close()
+        worker = _Worker(index, proc, parent_conn)
+        self._workers[index] = worker
+        return worker
+
+    def _retire_locked(self, worker: _Worker, *, kill: bool) -> None:
+        """Remove ``worker`` from the registry; reaped by the router."""
+        self._workers.pop(worker.index, None)
+        self._retired.append((worker, kill, monotonic_clock()))
+
+    def _reap_retired(self) -> None:
+        """Escalate politely-retired workers that ignored their sentinel
+        and join() finished ones (non-daemonic children must be reaped)."""
+        keep = []
+        for worker, kill, stamp in self._retired:
+            proc = worker.proc
+            if kill:
+                if proc.is_alive():
+                    proc.terminate()
+                kill = False
+            if proc.is_alive():
+                if monotonic_clock() - stamp > 5.0:
+                    proc.kill()
+                keep.append((worker, kill, stamp))
+            else:
+                proc.join(timeout=0.1)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+        self._retired = keep
+
+    def shutdown(self) -> None:
+        with self._mu:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            self._workers.clear()
+            pending = list(self._pending)
+            self._pending.clear()
+        for handle in pending:
+            handle.finish(_pool_result(
+                "cancelled", EXIT_CANCELLED, "the server is shutting down"))
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = monotonic_clock() + 2.0
+        for worker in workers:
+            worker.proc.join(
+                timeout=max(0.0, deadline - monotonic_clock()))
+        for worker in workers:
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+        for worker in workers:
+            if worker.proc.is_alive():
+                worker.proc.join(timeout=0.5)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=0.5)
+            if worker.handle is not None:
+                worker.handle.finish(_pool_result(
+                    "cancelled", EXIT_CANCELLED,
+                    "the server is shutting down"))
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        with self._mu:
+            # The router is gone; escalate anything still retired NOW —
+            # a lingering non-daemonic child would hang interpreter exit.
+            for worker, _kill, _stamp in self._retired:
+                if worker.proc.is_alive():
+                    worker.proc.kill()
+            for worker, _kill, _stamp in self._retired:
+                worker.proc.join(timeout=1.0)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            self._retired = []
+
+    # -- submission ----------------------------------------------------
+    def submit(self, request: dict) -> RunHandle:
+        handle = RunHandle(request)
+        with self._mu:
+            if self._closed:
+                raise ServeError(503, "the server is shutting down")
+            idle = self._idle_worker_locked()
+            if idle is None and len(self._pending) >= self.max_queue:
+                raise ServeError(
+                    503,
+                    f"server is at capacity ({self.max_queue} requests "
+                    "queued) — retry shortly",
+                    retry_after=1.0,
+                )
+            self._handles[handle.id] = handle
+            if idle is not None:
+                self._assign_locked(idle, handle)
+            else:
+                self._pending.append(handle)
+        return handle
+
+    def _idle_worker_locked(self) -> _Worker | None:
+        for worker in self._workers.values():
+            if worker.handle is None:
+                return worker
+        return None
+
+    def _assign_locked(self, worker: _Worker, handle: RunHandle) -> None:
+        worker.handle = handle
+        handle.worker_pid = worker.proc.pid
+        handle.started_at = monotonic_clock()
+        try:
+            worker.conn.send(handle.request)
+        except (BrokenPipeError, OSError):
+            # Died between requests: replace it and put the request first
+            # in line — the router dispatches when the new worker is up.
+            worker.handle = None
+            self.crashed += 1
+            self._retire_locked(worker, kill=True)
+            self._spawn_locked()
+            self._pending.appendleft(handle)
+
+    def _dispatch_pending_locked(self) -> None:
+        while self._pending:
+            worker = self._idle_worker_locked()
+            if worker is None:
+                return
+            self._assign_locked(worker, self._pending.popleft())
+
+    # -- routing -------------------------------------------------------
+    def _route(self) -> None:
+        while True:
+            with self._mu:
+                if self._closed:
+                    return
+                conns = {worker.conn: worker
+                         for worker in self._workers.values()}
+                self._reap_retired()
+            try:
+                ready = _conn_wait(list(conns), timeout=0.1)
+            except OSError:
+                ready = []
+            for conn in ready:
+                worker = conns[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._on_worker_death(worker)
+                    continue
+                self._on_message(worker, msg)
+            self._check_watchdog()
+
+    def _on_message(self, worker: _Worker, msg: tuple) -> None:
+        kind, req_id, payload = msg
+        if kind == "out":
+            handle = self._handles.get(req_id)
+            if handle is not None and not handle.done.is_set():
+                handle.events.put(("out", payload))
+            return
+        # "done"
+        with self._mu:
+            if self._workers.get(worker.index) is not worker:
+                # Retired under us (a cancel raced its final message);
+                # the handle was already finished by whoever retired it.
+                return
+            handle, worker.handle = worker.handle, None
+            worker.served += 1
+            self.served += 1
+            recycle = (self.recycle_after
+                       and worker.served >= self.recycle_after
+                       and not self._closed)
+            if recycle:
+                # Replace *before* retiring so capacity never dips.
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                self._retire_locked(worker, kill=False)
+                self._spawn_locked()
+                self.recycled += 1
+            self._handles.pop(req_id, None)
+            self._dispatch_pending_locked()
+        if handle is not None:
+            handle.finish(payload)
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        with self._mu:
+            if self._workers.get(worker.index) is not worker:
+                return  # already retired by cancel()/recycle
+            handle, worker.handle = worker.handle, None
+            self._retire_locked(worker, kill=True)
+            if not self._closed:
+                self._spawn_locked()
+            if handle is not None:
+                self.crashed += 1
+                self._handles.pop(handle.id, None)
+            self._dispatch_pending_locked()
+        if handle is not None:
+            handle.finish(_pool_result("error", 1, _CRASH_RESULT))
+
+    def _check_watchdog(self) -> None:
+        """Kill workers wedged well past their run's time budget."""
+        now = monotonic_clock()
+        victims = []
+        with self._mu:
+            for worker in self._workers.values():
+                handle = worker.handle
+                if handle is None or handle.started_at is None:
+                    continue
+                allowed = handle.request.get("time_limit") or 0.0
+                if now - handle.started_at > allowed + self.watchdog_grace:
+                    victims.append((worker, handle))
+            for worker, handle in victims:
+                worker.handle = None
+                self._retire_locked(worker, kill=True)
+                if not self._closed:
+                    self._spawn_locked()
+                self._handles.pop(handle.id, None)
+                self.watchdog_kills += 1
+            if victims:
+                self._dispatch_pending_locked()
+        for _worker, handle in victims:
+            handle.finish(_pool_result(
+                "time", EXIT_LIMIT,
+                f"the run exceeded its time budget of "
+                f"{handle.request.get('time_limit', 0):g}s and was killed "
+                "by the server watchdog",
+            ))
+
+    # -- cancellation --------------------------------------------------
+    def cancel(self, req_id: str,
+               reason: str = "cancelled by the client") -> bool:
+        """Cancel a pending or running request.  A running request's
+        worker is killed and replaced — cancellation must not depend on
+        the program reaching a statement boundary."""
+        with self._mu:
+            handle = self._handles.pop(req_id, None)
+            if handle is None:
+                return False
+            victim = None
+            if handle in self._pending:
+                self._pending.remove(handle)
+            else:
+                for worker in self._workers.values():
+                    if worker.handle is handle:
+                        victim = worker
+                        break
+                if victim is not None:
+                    victim.handle = None
+                    self._retire_locked(victim, kill=True)
+                    if not self._closed:
+                        self._spawn_locked()
+                    self._dispatch_pending_locked()
+            self.cancelled += 1
+        handle.finish(_pool_result(
+            "cancelled", EXIT_CANCELLED, f"the run was cancelled — {reason}"))
+        return True
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "workers": len(self._workers),
+                "busy": sum(1 for w in self._workers.values()
+                            if w.handle is not None),
+                "pending": len(self._pending),
+                "served": self.served,
+                "crashed": self.crashed,
+                "recycled": self.recycled,
+                "cancelled": self.cancelled,
+                "watchdog_kills": self.watchdog_kills,
+                "worker_pids": sorted(w.proc.pid
+                                      for w in self._workers.values()),
+            }

@@ -1,0 +1,243 @@
+"""Wire protocol for ``tetra serve``: request validation, guardrail
+clamping, and the exit-code → HTTP-status mapping.
+
+A run request is a JSON object::
+
+    {
+      "source": "def main():\\n    print(1)\\n",   # required
+      "inputs": ["line1", "line2"],                # read_* lines
+      "entry": "main",
+      "backend": "thread",       # thread | sequential | coop | sim | proc
+      "detect_races": false,
+      "metrics": false,
+      "time_limit": 2.0,         # clamped to the server's ceiling
+      "memory_limit": 100000,    # value cells
+      "step_limit": 1000000,
+      "output_limit": 500000,    # characters
+      "chaos_seed": null,
+      "workers": null,           # parallel-for workers
+      "chunking": "block",
+      "record_schedule": false
+    }
+
+Every limit is clamped between a server default (applied when the client
+sends nothing) and a hard ceiling — a tenant can lower its budget, never
+raise it past the operator's cap.  Unknown fields are rejected so typos
+fail loudly instead of silently running with defaults.
+
+The **exit-code → HTTP-status mapping** (the same exit codes ``tetra run``
+reports, README "Guardrails & chaos testing"):
+
+    ==== ============================================== ===========
+    exit meaning                                        HTTP status
+    ==== ============================================== ===========
+    0    clean run                                      200
+    1    program diagnostic (syntax, type, runtime)     422
+    2    malformed request / bad option                  400
+    3    data races found (run itself clean)            200
+    4    a guardrail tripped (time/memory/steps/output) 408
+    5    deadlock detected and aborted                  409
+    130  cancelled (client cancel, shutdown)            499
+    ==== ============================================== ===========
+
+Server-level conditions use the usual codes on top: 404 unknown route,
+405 wrong method, 413 source too large, 429 quota or rate limit,
+500 worker crash, 503 at capacity / shutting down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import (
+    EXIT_CANCELLED,
+    EXIT_DEADLOCK,
+    EXIT_ERROR,
+    EXIT_LIMIT,
+    EXIT_OK,
+    EXIT_RACES,
+    EXIT_USAGE,
+)
+
+#: The documented mapping (also rendered in README).
+EXIT_HTTP_STATUS = {
+    EXIT_OK: 200,
+    EXIT_ERROR: 422,
+    EXIT_USAGE: 400,
+    EXIT_RACES: 200,
+    EXIT_LIMIT: 408,
+    EXIT_DEADLOCK: 409,
+    EXIT_CANCELLED: 499,
+}
+
+
+def http_status_for_exit(code: int) -> int:
+    """HTTP status for a run's uniform exit code (unknown → 500)."""
+    return EXIT_HTTP_STATUS.get(code, 500)
+
+
+class ServeError(Exception):
+    """A request the service refuses, with its HTTP status.
+
+    ``retry_after`` (seconds) is set for rate-limit refusals so the
+    handler can emit a ``Retry-After`` header.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+#: Backends a tenant may pick (everything the CLI offers).
+ALLOWED_BACKENDS = ("thread", "sequential", "coop", "sim", "proc")
+ALLOWED_CHUNKINGS = ("block", "cyclic", "dynamic")
+
+
+@dataclass
+class ServeConfig:
+    """Operator knobs for one :class:`~repro.serve.service.ExecutionService`.
+
+    The per-request entries come in (default, ceiling) pairs: the default
+    applies when the client sends nothing (or 0), the ceiling clamps what
+    it may ask for.  Quotas are per tenant (the ``X-Tetra-Tenant`` header,
+    ``"anonymous"`` when absent).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8722
+    #: Sandbox worker processes (each runs one request at a time).
+    workers: int = 2
+    #: Retire a worker after this many requests (0 = never) — a fresh
+    #: process reclaims whatever a thousand student programs leaked.
+    recycle_after: int = 64
+    #: Requests queued waiting for a worker before the service says 503.
+    max_queue: int = 32
+    #: Token-bucket refill per tenant, requests/second.
+    rate: float = 10.0
+    #: Token-bucket capacity (burst size) per tenant.
+    burst: int = 20
+    #: Simultaneously *running* requests per tenant.
+    max_concurrent: int = 4
+    #: Wall-clock guardrail in host seconds.  Enforced in-worker on the
+    #: host-clock backends (thread/sequential/proc); sim and coop tick
+    #: virtual units, so there the step limit and the parent watchdog
+    #: (time limit + ``watchdog_grace``) bound the run instead.
+    default_time_limit: float = 5.0
+    max_time_limit: float = 30.0
+    #: Value-heap cells (see RuntimeConfig.memory_limit).
+    default_memory_limit: int = 500_000
+    max_memory_limit: int = 2_000_000
+    #: Interpreted statements.
+    default_step_limit: int = 5_000_000
+    max_step_limit: int = 50_000_000
+    #: Captured output characters.
+    default_output_limit: int = 1_000_000
+    max_output_limit: int = 8_000_000
+    #: Request body / source size caps.
+    max_source_bytes: int = 200_000
+    max_inputs: int = 1_000
+    #: Parallel-for workers a request may ask for.
+    max_workers_per_run: int = 8
+    #: Seconds past a run's time limit before the parent kills its worker
+    #: outright (the in-worker guardrail normally fires first; the
+    #: watchdog catches wedged runs that never reach a statement
+    #: boundary).
+    watchdog_grace: float = 3.0
+
+
+def _clamp(value, default, ceiling, *, kind=float, name=""):
+    if value is None:
+        value = 0
+    try:
+        value = kind(value)
+    except (TypeError, ValueError):
+        raise ServeError(400, f"{name} must be a number") from None
+    if value < 0:
+        raise ServeError(400, f"{name} must be non-negative")
+    if not value:
+        value = default
+    return min(value, ceiling)
+
+
+_KNOWN_FIELDS = frozenset({
+    "source", "inputs", "entry", "backend", "detect_races", "metrics",
+    "time_limit", "memory_limit", "step_limit", "output_limit",
+    "chaos_seed", "workers", "chunking", "record_schedule", "name",
+})
+
+
+def validate_request(payload: object, cfg: ServeConfig) -> dict:
+    """Normalize one run request, clamping every limit to the server's
+    ceilings.  Raises :class:`ServeError` (HTTP 400/413) on anything
+    malformed — the tenant hears *why*, with the field named."""
+    if not isinstance(payload, dict):
+        raise ServeError(400, "request body must be a JSON object")
+    unknown = sorted(set(payload) - _KNOWN_FIELDS)
+    if unknown:
+        raise ServeError(400, f"unknown request field(s): {', '.join(unknown)}")
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ServeError(400, "'source' must be a non-empty string")
+    if len(source.encode("utf-8", "surrogatepass")) > cfg.max_source_bytes:
+        raise ServeError(
+            413, f"source exceeds {cfg.max_source_bytes} bytes")
+    inputs = payload.get("inputs") or []
+    if not isinstance(inputs, list) \
+            or not all(isinstance(line, str) for line in inputs):
+        raise ServeError(400, "'inputs' must be a list of strings")
+    if len(inputs) > cfg.max_inputs:
+        raise ServeError(413, f"more than {cfg.max_inputs} input lines")
+    entry = payload.get("entry", "main")
+    if not isinstance(entry, str) or not entry.isidentifier():
+        raise ServeError(400, "'entry' must be a function name")
+    backend = payload.get("backend", "thread")
+    if backend not in ALLOWED_BACKENDS:
+        raise ServeError(
+            400, f"unknown backend {backend!r}; pick one of "
+                 f"{', '.join(ALLOWED_BACKENDS)}")
+    chunking = payload.get("chunking", "block")
+    if chunking not in ALLOWED_CHUNKINGS:
+        raise ServeError(
+            400, f"unknown chunking {chunking!r}; pick one of "
+                 f"{', '.join(ALLOWED_CHUNKINGS)}")
+    chaos_seed = payload.get("chaos_seed")
+    if chaos_seed is not None and not isinstance(chaos_seed, int):
+        raise ServeError(400, "'chaos_seed' must be an integer or null")
+    workers = payload.get("workers")
+    if workers is not None:
+        if not isinstance(workers, int) or workers < 1:
+            raise ServeError(400, "'workers' must be a positive integer")
+        workers = min(workers, cfg.max_workers_per_run)
+    name = payload.get("name", "<request>")
+    if not isinstance(name, str):
+        raise ServeError(400, "'name' must be a string")
+    return {
+        "source": source,
+        "inputs": list(inputs),
+        "entry": entry,
+        "backend": backend,
+        "name": name,
+        "detect_races": bool(payload.get("detect_races", False)),
+        "metrics": bool(payload.get("metrics", False)),
+        "record_schedule": bool(payload.get("record_schedule", False)),
+        "chaos_seed": chaos_seed,
+        "workers": workers,
+        "chunking": chunking,
+        "time_limit": _clamp(payload.get("time_limit"),
+                             cfg.default_time_limit, cfg.max_time_limit,
+                             kind=float, name="'time_limit'"),
+        "memory_limit": _clamp(payload.get("memory_limit"),
+                               cfg.default_memory_limit,
+                               cfg.max_memory_limit,
+                               kind=int, name="'memory_limit'"),
+        "step_limit": _clamp(payload.get("step_limit"),
+                             cfg.default_step_limit, cfg.max_step_limit,
+                             kind=int, name="'step_limit'"),
+        "output_limit": _clamp(payload.get("output_limit"),
+                               cfg.default_output_limit,
+                               cfg.max_output_limit,
+                               kind=int, name="'output_limit'"),
+    }

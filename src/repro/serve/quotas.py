@@ -1,0 +1,131 @@
+"""Per-tenant admission control: token-bucket rate limits + run quotas.
+
+A tenant is whatever string the transport attributes the request to (the
+``X-Tetra-Tenant`` header; ``"anonymous"`` otherwise).  Admission asks two
+questions, both answered under one lock:
+
+* **Rate**: a classic token bucket — ``burst`` tokens capacity, refilled
+  at ``rate`` tokens/second — absorbs a classroom's click-storms while
+  bounding sustained throughput per tenant.
+* **Concurrency**: at most ``max_concurrent`` *running* requests per
+  tenant, so a single tenant cannot occupy every sandbox worker and
+  starve the rest of the class.
+
+Refusals carry ``retry_after`` so clients can back off politely.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..stdlib.builtin_time import monotonic_clock
+from .protocol import ServeError
+
+
+class _Bucket:
+    __slots__ = ("tokens", "stamp", "active")
+
+    def __init__(self, burst: float, now: float):
+        self.tokens = burst
+        self.stamp = now
+        self.active = 0
+
+
+class TenantQuotas:
+    """Thread-safe per-tenant admission state.
+
+    ``clock`` is injectable for deterministic tests; it must be monotonic
+    seconds.  Buckets for idle tenants are pruned once they are full again
+    and have no active runs, so the table stays proportional to *current*
+    tenants, not everyone ever seen.
+    """
+
+    def __init__(self, rate: float = 10.0, burst: int = 20,
+                 max_concurrent: int = 4, clock=monotonic_clock):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_concurrent = int(max_concurrent)
+        self._clock = clock
+        self._mu = threading.Lock()
+        self._buckets: dict[str, _Bucket] = {}
+        self.admitted = 0
+        self.rate_limited = 0
+        self.over_concurrency = 0
+
+    def _bucket(self, tenant: str, now: float) -> _Bucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = _Bucket(self.burst, now)
+        else:
+            bucket.tokens = min(
+                self.burst,
+                bucket.tokens + (now - bucket.stamp) * self.rate,
+            )
+            bucket.stamp = now
+        return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` or raise ``ServeError(429)``.
+
+        On success the tenant's active-run count is incremented — callers
+        must pair every successful ``admit`` with a :meth:`release`.
+        """
+        with self._mu:
+            now = self._clock()
+            bucket = self._bucket(tenant, now)
+            if bucket.active >= self.max_concurrent:
+                self.over_concurrency += 1
+                raise ServeError(
+                    429,
+                    f"tenant {tenant!r} already has {bucket.active} "
+                    f"running request(s) (limit {self.max_concurrent}) — "
+                    "wait for one to finish",
+                    retry_after=1.0,
+                )
+            if bucket.tokens < 1.0:
+                self.rate_limited += 1
+                wait = (1.0 - bucket.tokens) / self.rate if self.rate \
+                    else 60.0
+                raise ServeError(
+                    429,
+                    f"tenant {tenant!r} is over its request rate "
+                    f"({self.rate:g}/s, burst {self.burst:g}) — retry in "
+                    f"{wait:.1f}s",
+                    retry_after=wait,
+                )
+            bucket.tokens -= 1.0
+            bucket.active += 1
+            self.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        """Mark one of ``tenant``'s admitted requests finished."""
+        with self._mu:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                return
+            bucket.active = max(0, bucket.active - 1)
+            # Prune tenants that are idle *and* fully refilled — keeping
+            # them would only replay the same full-bucket state later.
+            now = self._clock()
+            self._bucket(tenant, now)
+            if bucket.active == 0 and bucket.tokens >= self.burst:
+                del self._buckets[tenant]
+
+    def active(self, tenant: str) -> int:
+        with self._mu:
+            bucket = self._buckets.get(tenant)
+            return bucket.active if bucket is not None else 0
+
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "tenants_tracked": len(self._buckets),
+                "active_runs": sum(b.active
+                                   for b in self._buckets.values()),
+                "admitted": self.admitted,
+                "rate_limited": self.rate_limited,
+                "over_concurrency": self.over_concurrency,
+                "rate": self.rate,
+                "burst": self.burst,
+                "max_concurrent": self.max_concurrent,
+            }

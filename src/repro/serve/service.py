@@ -1,0 +1,189 @@
+"""The execution service behind every ``tetra serve`` transport.
+
+:class:`ExecutionService` is transport-neutral — the HTTP handler, the
+WebSocket session, the benchmark, and the tests all drive this one
+object.  A request's life:
+
+1. **Validate** (:func:`~repro.serve.protocol.validate_request`) — limits
+   clamped to the operator's ceilings, unknown fields rejected.
+2. **Admit** (:class:`~repro.serve.quotas.TenantQuotas`) — token-bucket
+   rate plus a per-tenant concurrency quota; refused requests cost no
+   worker time.
+3. **Pre-compile** through the shared sha-keyed program cache
+   (:func:`repro.api.cached_program`) — a syntax or type error is
+   answered immediately (exit 1 → HTTP 422) without occupying a sandbox,
+   and a warm entry makes the steady state (a whole classroom running the
+   same assignment) compile exactly once, thanks to the single-flight
+   cache.  Workers forked later inherit the warm cache for free.
+4. **Run** in a sandboxed pool worker (:class:`~repro.serve.pool
+   .RunnerPool`), streaming output, with cancel-by-kill and a watchdog.
+
+The quota is released when the run *finishes* (the handle's ``on_done``
+hook), not when it is submitted — "max concurrent" means concurrent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+
+from ..api import cached_program, program_cache_info
+from ..errors import TetraError, exit_code_for
+from ..source import SourceFile
+from .pool import RunHandle, RunnerPool
+from .protocol import ServeConfig, ServeError, validate_request
+from .quotas import TenantQuotas
+
+#: Tenant attributed to requests that do not name one.
+ANONYMOUS = "anonymous"
+
+
+class ExecutionService:
+    """One multi-tenant Tetra execution service."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.quotas = TenantQuotas(rate=cfg.rate, burst=cfg.burst,
+                                   max_concurrent=cfg.max_concurrent)
+        self.pool = RunnerPool(size=cfg.workers,
+                               recycle_after=cfg.recycle_after,
+                               max_queue=cfg.max_queue,
+                               watchdog_grace=cfg.watchdog_grace)
+        self._mu = threading.Lock()
+        self._seq = itertools.count(1)
+        self._closed = False
+        self.requests_total = 0
+        self.rejected_total = 0
+        self.compile_rejects = 0
+
+    # -- identity ------------------------------------------------------
+    def _request_id(self) -> str:
+        return f"r{os.getpid():x}-{next(self._seq):06x}"
+
+    # -- core entry points ---------------------------------------------
+    def submit(self, payload: object,
+               tenant: str = ANONYMOUS) -> RunHandle:
+        """Validate, admit, pre-compile, and dispatch one request.
+
+        Returns a :class:`~repro.serve.pool.RunHandle`; compile failures
+        return an already-finished handle (the caller streams/reports it
+        uniformly).  Raises :class:`ServeError` for refusals (400/413
+        malformed, 429 quota, 503 capacity).
+        """
+        if self._closed:
+            raise ServeError(503, "the server is shutting down")
+        with self._mu:
+            self.requests_total += 1
+        try:
+            request = validate_request(payload, self.config)
+        except ServeError:
+            with self._mu:
+                self.rejected_total += 1
+            raise
+        request["tenant"] = tenant
+        request["id"] = self._request_id()
+        self.quotas.admit(tenant)  # raises ServeError(429)
+        try:
+            handle = self._dispatch(request)
+        except BaseException:
+            self.quotas.release(tenant)
+            raise
+        return handle
+
+    def _dispatch(self, request: dict) -> RunHandle:
+        tenant = request["tenant"]
+        try:
+            # The shared front-end cache: every tenant's identical source
+            # hits one compiled tree, and concurrent first-requests are
+            # single-flight.  (Workers compile their own instrumented
+            # variants on demand; this also rejects broken programs
+            # before they cost a sandbox slot.)
+            cached_program(request["source"], request["name"],
+                           request["entry"])
+        except TetraError as exc:
+            with self._mu:
+                self.compile_rejects += 1
+            source = SourceFile.from_string(request["source"],
+                                            request["name"])
+            handle = RunHandle(request)
+            self.quotas.release(tenant)
+            handle.finish({
+                "status": "error",
+                "phase": "compile",
+                "exit_code": exit_code_for(exc),
+                "output": "",
+                "error": exc.attach_source(source).render(),
+                "races": None,
+                "race_count": 0,
+                "metrics": None,
+                "schedule": None,
+                "wall_ms": 0.0,
+            })
+            return handle
+        handle = self.pool.submit(request)
+        handle.on_done = lambda _result: self.quotas.release(tenant)
+        return handle
+
+    def run(self, payload: object, tenant: str = ANONYMOUS,
+            timeout: float | None = None) -> dict:
+        """Submit and block for the result (the ``POST /api/run`` path).
+
+        The default timeout covers the worst legitimate case — the
+        request's clamped time limit plus the watchdog grace — so a
+        caller can never wedge on a lost run.
+        """
+        handle = self.submit(payload, tenant)
+        if timeout is None:
+            timeout = (handle.request.get("time_limit",
+                                          self.config.max_time_limit)
+                       + self.config.watchdog_grace + 30.0)
+        result = dict(handle.wait(timeout))
+        result["id"] = handle.id
+        return result
+
+    def cancel(self, req_id: str,
+               reason: str = "cancelled by the client") -> bool:
+        return self.pool.cancel(req_id, reason)
+
+    # -- introspection -------------------------------------------------
+    def check(self, payload: object) -> dict:
+        """Static diagnostics only (the ``POST /api/check`` path) — no
+        quota charge beyond validation, no worker."""
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("source"), str):
+            raise ServeError(400, "'source' must be a string")
+        source = payload["source"]
+        if len(source.encode("utf-8", "surrogatepass")) \
+                > self.config.max_source_bytes:
+            raise ServeError(
+                413, f"source exceeds {self.config.max_source_bytes} bytes")
+        from ..api import check_source
+
+        diagnostics = check_source(source, payload.get("name", "<request>"))
+        return {
+            "ok": not diagnostics,
+            "diagnostics": [exc.render() for exc in diagnostics],
+        }
+
+    def stats(self) -> dict:
+        with self._mu:
+            totals = {
+                "requests_total": self.requests_total,
+                "rejected_total": self.rejected_total,
+                "compile_rejects": self.compile_rejects,
+            }
+        cache = program_cache_info()
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = (cache["hits"] / lookups) if lookups else 0.0
+        return {
+            **totals,
+            "pool": self.pool.stats(),
+            "quotas": self.quotas.stats(),
+            "program_cache": cache,
+        }
+
+    def shutdown(self) -> None:
+        self._closed = True
+        self.pool.shutdown()

@@ -1,0 +1,110 @@
+"""A minimal RFC 6455 WebSocket layer (stdlib only).
+
+Just enough protocol for ``tetra serve``'s streaming endpoint — and for
+its tests and benchmark to act as clients: the opening handshake, text /
+close / ping frames, client-side masking.  Fragmented messages are not
+produced by either side here and are rejected loudly rather than
+mis-assembled.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+
+#: Fixed GUID from RFC 6455 §1.3.
+_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+class WSError(Exception):
+    """A protocol violation or an unexpectedly closed socket."""
+
+
+def accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's nonce."""
+    digest = hashlib.sha1((client_key + _GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def is_upgrade(headers) -> bool:
+    """Does this request ask for a WebSocket upgrade?  ``headers`` is any
+    case-insensitive mapping (``http.client.HTTPMessage`` qualifies)."""
+    upgrade = (headers.get("Upgrade") or "").lower()
+    connection = (headers.get("Connection") or "").lower()
+    return upgrade == "websocket" and "upgrade" in connection \
+        and headers.get("Sec-WebSocket-Key") is not None
+
+
+def handshake_response(headers) -> bytes:
+    """The 101 response bytes for an upgrade request."""
+    key = headers.get("Sec-WebSocket-Key")
+    if key is None:
+        raise WSError("missing Sec-WebSocket-Key")
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(key)}\r\n"
+        "\r\n"
+    ).encode("ascii")
+
+
+def encode_frame(payload: bytes, opcode: int = OP_TEXT,
+                 mask: bool = False) -> bytes:
+    """One unfragmented frame.  Clients MUST mask (RFC 6455 §5.3);
+    servers MUST NOT."""
+    head = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+def _read_exact(rfile, n: int) -> bytes:
+    data = b""
+    while len(data) < n:
+        chunk = rfile.read(n - len(data))
+        if not chunk:
+            raise WSError("socket closed mid-frame")
+        data += chunk
+    return data
+
+
+def read_frame(rfile) -> tuple[int, bytes]:
+    """Read one frame; returns ``(opcode, payload)`` with masking undone.
+    Control frames (close/ping/pong) are returned to the caller — this
+    layer does not auto-respond."""
+    b0, b1 = _read_exact(rfile, 2)
+    if not b0 & 0x80:
+        raise WSError("fragmented frames are not supported")
+    opcode = b0 & 0x0F
+    masked = bool(b1 & 0x80)
+    length = b1 & 0x7F
+    if length == 126:
+        (length,) = struct.unpack("!H", _read_exact(rfile, 2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", _read_exact(rfile, 8))
+    key = _read_exact(rfile, 4) if masked else None
+    payload = _read_exact(rfile, length) if length else b""
+    if key is not None:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload

@@ -69,6 +69,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         step_limit=args.step_limit,
         time_limit=args.time_limit,
         memory_limit=args.memory_limit,
+        output_limit=args.output_limit,
         cancel=token,
         chaos_seed=args.chaos,
         schedule_recorder=recorder,
@@ -366,6 +367,24 @@ def cmd_stress(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the hosted multi-tenant execution service until Ctrl-C."""
+    from ..serve import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.serve_workers,
+        recycle_after=args.recycle_after,
+        rate=args.rate,
+        burst=args.burst,
+        max_concurrent=args.max_concurrent,
+        default_time_limit=args.default_time_limit,
+        max_time_limit=args.max_time_limit,
+    )
+    return serve(config, verbose=args.verbose)
+
+
 def cmd_repl(args: argparse.Namespace) -> int:
     from .repl import repl_main
 
@@ -433,6 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="abort when more than CELLS value-heap cells "
                           "(array/dict/tuple elements, object fields) are "
                           "live at once (exit 4)")
+    run.add_argument("--output-limit", type=int, default=0, metavar="CHARS",
+                     help="abort after the program prints more than CHARS "
+                          "characters (exit 4); defaults to 64x the memory "
+                          "limit when one is set, otherwise unlimited")
     run.add_argument("--chaos", type=int, default=None, metavar="SEED",
                      help="run under a seeded fault-injection plan: "
                           "preemption jitter and lock delays on the thread "
@@ -540,6 +563,40 @@ def build_parser() -> argparse.ArgumentParser:
                              "of failing/divergent cells to DIR as "
                              "replayable artifacts")
     stress.set_defaults(func=cmd_stress)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the hosted multi-tenant execution service (HTTP + "
+             "WebSocket; see README 'Hosted execution')",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8722,
+                         help="bind port (default: 8722; 0 = ephemeral)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         dest="serve_workers", metavar="N",
+                         help="sandbox worker processes (default: 2)")
+    serve_p.add_argument("--recycle-after", type=int, default=64,
+                         metavar="N",
+                         help="retire a worker after N requests "
+                              "(default: 64, 0 = never)")
+    serve_p.add_argument("--rate", type=float, default=10.0, metavar="R",
+                         help="per-tenant request rate, req/s (default: 10)")
+    serve_p.add_argument("--burst", type=int, default=20, metavar="N",
+                         help="per-tenant burst size (default: 20)")
+    serve_p.add_argument("--max-concurrent", type=int, default=4,
+                         metavar="N",
+                         help="per-tenant concurrent runs (default: 4)")
+    serve_p.add_argument("--default-time-limit", type=float, default=5.0,
+                         metavar="T",
+                         help="seconds granted when a request names no "
+                              "time limit (default: 5)")
+    serve_p.add_argument("--max-time-limit", type=float, default=30.0,
+                         metavar="T",
+                         help="ceiling a request may ask for (default: 30)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log each HTTP request to stderr")
+    serve_p.set_defaults(func=cmd_serve)
 
     repl = sub.add_parser("repl", help="interactive Tetra session")
     repl.set_defaults(func=cmd_repl)

@@ -108,3 +108,114 @@ class TestRunFile:
         with pytest.raises(TetraTypeError) as info:
             run_file(str(path))
         assert "bad.ttr" in info.value.render()
+
+    def test_entry_passthrough(self, tmp_path):
+        # run_file used to silently drop entry= (and replay=) while
+        # run_source honored them — the two front doors must match.
+        path = tmp_path / "alt.ttr"
+        path.write_text("def alt():\n    print(7)\n\n"
+                        "def main():\n    print(1)\n")
+        assert run_file(str(path), entry="alt").output == "7\n"
+        assert run_file(str(path)).output == "1\n"
+
+    def test_replay_passthrough(self, tmp_path):
+        source = (
+            "def main():\n"
+            "    t = 0\n"
+            "    parallel for i in [1 ... 4]:\n"
+            "        lock t:\n"
+            "            t += 1\n"
+            "    print(t)\n"
+        )
+        path = tmp_path / "recorded.ttr"
+        path.write_text(source)
+        recorded = run_file(str(path), backend="coop",
+                            record_schedule=True)
+        assert recorded.schedule is not None
+        replayed = run_file(str(path), replay=recorded.schedule)
+        assert replayed.output == recorded.output
+        assert replayed.replay is not None
+
+    def test_output_limit_passthrough(self, tmp_path):
+        from repro import TetraLimitError
+
+        path = tmp_path / "noisy.ttr"
+        path.write_text('def main():\n    while true:\n'
+                        '        print("aaaaaaaaaa")\n')
+        with pytest.raises(TetraLimitError):
+            run_file(str(path), output_limit=500)
+        result = run_file(str(path), output_limit=500, on_error="return")
+        assert result.aborted_by == "output"
+
+
+class TestProgramCacheSingleFlight:
+    def test_concurrent_misses_compile_once(self):
+        import threading
+
+        from repro.api import clear_program_cache, program_cache_info
+
+        clear_program_cache()
+        src = 'def main():\n    print("single-flight")\n'
+        barrier = threading.Barrier(8)
+        results = []
+        errors = []
+
+        def worker():
+            barrier.wait()
+            try:
+                results.append(compile_via_cache(src))
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        def compile_via_cache(text):
+            from repro.api import cached_program
+
+            return cached_program(text, "<single-flight>")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 8
+        # All callers got the same cached tree...
+        first = results[0]
+        assert all(r[0] is first[0] for r in results)
+        # ...and the stampede cost exactly one compile: one miss, the
+        # other seven waited and hit.
+        info = program_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 7
+
+    def test_failed_leader_wakes_waiters_with_diagnostics(self):
+        import threading
+
+        from repro.api import cached_program, clear_program_cache
+
+        clear_program_cache()
+        bad = "def main(:\n"
+        barrier = threading.Barrier(6)
+        raised = []
+
+        def worker():
+            barrier.wait()
+            try:
+                cached_program(bad, "<broken>")
+            except TetraSyntaxError as exc:
+                raised.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Nobody hangs on the dead leader's event; everyone gets its own
+        # diagnostic (failures are never cached).
+        assert len(raised) == 6
+
+    def test_inflight_table_drains(self):
+        from repro.api import _inflight, cached_program
+
+        cached_program('def main():\n    print("drain")\n', "<drain>")
+        assert _inflight == {}

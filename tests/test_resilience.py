@@ -405,3 +405,63 @@ def main():
             config=RuntimeConfig(recursion_limit=40), on_error="return")
         assert result.aborted_by == "recursion"
         assert "recursion depth exceeded" in result.error.message
+
+
+class TestOutputLimit:
+    """The captured-output guardrail: a print loop must not be an OOM
+    vector just because the *value heap* stays small."""
+
+    NOISY = 'def main():\n    while true:\n        print("aaaaaaaaaa")\n'
+
+    def test_explicit_limit_aborts_with_output_kind(self):
+        result = run_source(self.NOISY, output_limit=500,
+                            on_error="return")
+        assert result.aborted_by == "output"
+        assert isinstance(result.error, TetraLimitError)
+        assert exit_code_for(result.error) == EXIT_LIMIT
+        assert "--output-limit" in result.error.message
+        # Partial output survives: everything up to (and including) the
+        # chunk that crossed the cap.
+        assert 500 <= len(result.output) <= 520
+
+    def test_memory_limit_derives_an_output_cap(self):
+        # A tight heap budget used to leave output unbounded — the two
+        # guardrails cover one OOM vector together now.
+        from repro.resilience.guard import OUTPUT_CHARS_PER_CELL
+
+        result = run_source(self.NOISY, memory_limit=10,
+                            on_error="return")
+        assert result.aborted_by == "output"
+        cap = 10 * OUTPUT_CHARS_PER_CELL
+        assert cap <= len(result.output) <= cap + 20
+
+    def test_explicit_limit_wins_over_derived(self):
+        result = run_source(self.NOISY, memory_limit=10,
+                            output_limit=2000, on_error="return")
+        assert result.aborted_by == "output"
+        assert len(result.output) >= 2000
+
+    def test_under_the_limit_is_untouched(self):
+        result = run_source('def main():\n    print("ok")\n',
+                            output_limit=100)
+        assert result.output == "ok\n"
+
+    @pytest.mark.parametrize("backend",
+                             ["thread", "sequential", "coop", "sim"])
+    def test_all_backends_enforce_it(self, backend):
+        result = run_source(self.NOISY, backend=backend, output_limit=300,
+                            on_error="return")
+        assert result.aborted_by == "output"
+
+    def test_parallel_writers_cannot_overshoot_much(self):
+        src = (
+            "def main():\n"
+            "    parallel for i in [1 ... 4]:\n"
+            "        while true:\n"
+            '            print("bbbbbbbbbb")\n'
+        )
+        result = run_source(src, output_limit=1000, on_error="return")
+        assert result.aborted_by == "output"
+        # Metering happens under the write lock, so concurrent printers
+        # stop within one chunk of the cap — not workers * chunks later.
+        assert len(result.output) <= 1000 + 20

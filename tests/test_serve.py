@@ -1,0 +1,603 @@
+"""The hosted execution service (``tetra serve``): protocol, quotas,
+pool, service, and the HTTP/WebSocket transport under concurrency."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import (
+    EXIT_CANCELLED,
+    EXIT_DEADLOCK,
+    EXIT_ERROR,
+    EXIT_LIMIT,
+    EXIT_OK,
+    EXIT_RACES,
+    EXIT_USAGE,
+)
+from repro.serve import (
+    ExecutionService,
+    ServeConfig,
+    ServeError,
+    TenantQuotas,
+    TetraServer,
+    http_status_for_exit,
+    validate_request,
+)
+from repro.serve import ws as ws_mod
+
+HELLO = 'def main():\n    print("hello")\n'
+COUNT = "def main():\n    for i in [0 ... 3]:\n        print(i)\n"
+SPIN = "def main():\n    x = 0\n    while true:\n        x = x + 1\n"
+NOISY = 'def main():\n    while true:\n        print("aaaaaaaaaa")\n'
+RACY = (
+    "def main():\n"
+    "    t = 0\n"
+    "    parallel for i in [1 ... 8]:\n"
+    "        t += 1\n"
+    "    print(t)\n"
+)
+
+
+def _cfg(**overrides) -> ServeConfig:
+    """A config sized for tests: tiny pool, effectively-off rate limit."""
+    defaults = dict(port=0, workers=2, rate=10_000.0, burst=10_000,
+                    max_concurrent=64, watchdog_grace=2.0,
+                    default_time_limit=10.0)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_exit_to_http_mapping(self):
+        assert http_status_for_exit(EXIT_OK) == 200
+        assert http_status_for_exit(EXIT_ERROR) == 422
+        assert http_status_for_exit(EXIT_USAGE) == 400
+        assert http_status_for_exit(EXIT_RACES) == 200
+        assert http_status_for_exit(EXIT_LIMIT) == 408
+        assert http_status_for_exit(EXIT_DEADLOCK) == 409
+        assert http_status_for_exit(EXIT_CANCELLED) == 499
+        assert http_status_for_exit(77) == 500  # unknown -> server error
+
+    def test_defaults_applied(self):
+        cfg = ServeConfig()
+        req = validate_request({"source": HELLO}, cfg)
+        assert req["time_limit"] == cfg.default_time_limit
+        assert req["memory_limit"] == cfg.default_memory_limit
+        assert req["output_limit"] == cfg.default_output_limit
+        assert req["backend"] == "thread"
+        assert req["entry"] == "main"
+
+    def test_limits_clamped_to_ceiling(self):
+        cfg = ServeConfig()
+        req = validate_request(
+            {"source": HELLO, "time_limit": 9999.0,
+             "step_limit": 10**12, "workers": 999}, cfg)
+        assert req["time_limit"] == cfg.max_time_limit
+        assert req["step_limit"] == cfg.max_step_limit
+        assert req["workers"] == cfg.max_workers_per_run
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServeError) as err:
+            validate_request({"source": HELLO, "stepp_limit": 5},
+                             ServeConfig())
+        assert err.value.status == 400
+        assert "stepp_limit" in err.value.message
+
+    def test_oversized_source_rejected(self):
+        cfg = ServeConfig(max_source_bytes=64)
+        with pytest.raises(ServeError) as err:
+            validate_request({"source": "def main():\n" + " " * 200}, cfg)
+        assert err.value.status == 413
+
+    def test_bad_backend_and_entry(self):
+        with pytest.raises(ServeError, match="backend"):
+            validate_request({"source": HELLO, "backend": "quantum"},
+                             ServeConfig())
+        with pytest.raises(ServeError, match="entry"):
+            validate_request({"source": HELLO, "entry": "not an ident"},
+                             ServeConfig())
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ServeError):
+            validate_request(["not", "a", "dict"], ServeConfig())
+
+
+# ----------------------------------------------------------------------
+# Quotas
+# ----------------------------------------------------------------------
+class TestQuotas:
+    def test_burst_then_rate_limited(self):
+        now = [0.0]
+        q = TenantQuotas(rate=1.0, burst=2, max_concurrent=99,
+                         clock=lambda: now[0])
+        q.admit("a")
+        q.admit("a")
+        with pytest.raises(ServeError) as err:
+            q.admit("a")
+        assert err.value.status == 429
+        assert err.value.retry_after is not None
+        now[0] += 1.0  # one token refilled
+        q.admit("a")
+
+    def test_tenants_do_not_share_buckets(self):
+        now = [0.0]
+        q = TenantQuotas(rate=1.0, burst=1, max_concurrent=99,
+                         clock=lambda: now[0])
+        q.admit("a")
+        with pytest.raises(ServeError):
+            q.admit("a")
+        q.admit("b")  # a's exhaustion does not touch b
+
+    def test_concurrency_quota_released_on_finish(self):
+        now = [0.0]
+        q = TenantQuotas(rate=1000.0, burst=1000, max_concurrent=2,
+                         clock=lambda: now[0])
+        q.admit("a")
+        q.admit("a")
+        with pytest.raises(ServeError) as err:
+            q.admit("a")
+        assert "running request" in err.value.message
+        q.release("a")
+        q.admit("a")
+
+
+# ----------------------------------------------------------------------
+# The service (no HTTP): pool behavior under concurrency
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service():
+    svc = ExecutionService(_cfg())
+    yield svc
+    svc.shutdown()
+
+
+class TestExecutionService:
+    def test_basic_run(self, service):
+        result = service.run({"source": HELLO})
+        assert result["exit_code"] == 0
+        assert result["output"] == "hello\n"
+        assert result["status"] == "ok"
+        assert result["id"]
+
+    def test_compile_reject_costs_no_worker(self, service):
+        before = service.pool.stats()["served"]
+        result = service.run({"source": "def main(:\n"})
+        assert result["exit_code"] == EXIT_ERROR
+        assert result["phase"] == "compile"
+        assert "expected" in result["error"]
+        assert service.pool.stats()["served"] == before
+
+    def test_runtime_error_reported(self, service):
+        result = service.run(
+            {"source": "def main():\n    print(1 / 0)\n"})
+        assert result["exit_code"] == EXIT_ERROR
+        assert result["phase"] == "run"
+        assert "division" in result["error"].lower()
+
+    def test_races_reported_with_exit_3(self, service):
+        result = service.run({"source": RACY, "detect_races": True,
+                              "workers": 4})
+        assert result["exit_code"] in (EXIT_OK, EXIT_RACES)
+        # The racy increment is usually caught; when it is, the panel
+        # rides along and the run itself still completed.
+        if result["exit_code"] == EXIT_RACES:
+            assert result["race_count"] > 0
+            assert "race" in result["races"].lower()
+
+    def test_output_limit_aborts_print_loop(self, service):
+        result = service.run({"source": NOISY, "output_limit": 2000,
+                              "step_limit": 10_000_000})
+        assert result["exit_code"] == EXIT_LIMIT
+        assert result["status"] == "output"
+        # Partial output survives up to (just past) the cap.
+        assert 2000 <= len(result["output"]) < 2100
+
+    def test_eight_concurrent_mixed_requests_are_isolated(self, service):
+        """The acceptance scenario: >=8 concurrent requests mixing
+        programs, tenants, and verdicts — each gets its own output."""
+        requests = []
+        for i in range(4):
+            src = f'def main():\n    print("tenant-{i}")\n'
+            requests.append((src, f"t{i}", 0, f"tenant-{i}\n"))
+        requests.append(("def main():\n    print(1 / 0)\n",
+                         "t4", EXIT_ERROR, ""))
+        requests.append((NOISY, "t5", EXIT_LIMIT, None))
+        requests.append((COUNT, "t6", 0, "0\n1\n2\n3\n"))
+        requests.append((HELLO, "t7", 0, "hello\n"))
+
+        def one(spec):
+            src, tenant, _code, _out = spec
+            return service.run(
+                {"source": src, "output_limit": 3000,
+                 "step_limit": 10_000_000},
+                tenant=tenant)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(one, requests))
+        for (src, tenant, code, out), result in zip(requests, results):
+            assert result["exit_code"] == code, (tenant, result)
+            if out is not None:
+                assert result["output"] == out, (tenant, result)
+        # No worker was lost and nothing leaked a quota slot.
+        stats = service.stats()
+        assert stats["pool"]["workers"] == service.config.workers
+        assert stats["pool"]["busy"] == 0
+        assert stats["quotas"]["active_runs"] == 0
+
+    def test_concurrent_same_source_shares_cache(self, service):
+        src = 'def main():\n    print("cache-me-serve")\n'
+        cache_before = service.stats()["program_cache"]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(
+                lambda i: service.run({"source": src}, tenant=f"c{i}"),
+                range(6)))
+        assert all(r["output"] == "cache-me-serve\n" for r in results)
+        cache_after = service.stats()["program_cache"]
+        # Single-flight: six concurrent first-requests record exactly one
+        # miss for this key; the rest are hits.
+        assert cache_after["misses"] == cache_before["misses"] + 1
+        assert cache_after["hits"] >= cache_before["hits"] + 5
+
+    def test_cancel_mid_run_frees_the_worker(self, service):
+        handle = service.submit({"source": SPIN, "time_limit": 25.0,
+                                 "step_limit": 500_000_000})
+        deadline = time.monotonic() + 5.0
+        while handle.worker_pid is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert handle.worker_pid is not None
+        assert service.cancel(handle.id, "test cancel")
+        result = handle.wait(5.0)
+        assert result["exit_code"] == EXIT_CANCELLED
+        assert result["status"] == "cancelled"
+        assert "test cancel" in result["error"]
+        # The replacement worker serves the next request immediately.
+        follow_up = service.run({"source": HELLO})
+        assert follow_up["output"] == "hello\n"
+        stats = service.pool.stats()
+        assert stats["workers"] == service.config.workers
+        assert stats["cancelled"] >= 1
+
+    def test_cancel_unknown_id_is_false(self, service):
+        assert service.cancel("r0-ffffff") is False
+
+    def test_crashed_worker_does_not_poison_the_pool(self, service):
+        handle = service.submit({"source": SPIN, "time_limit": 25.0,
+                                 "step_limit": 500_000_000})
+        deadline = time.monotonic() + 5.0
+        while handle.worker_pid is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        os.kill(handle.worker_pid, signal.SIGKILL)  # simulate an OOM kill
+        result = handle.wait(10.0)
+        assert result["exit_code"] == EXIT_ERROR
+        assert "died mid-run" in result["error"]
+        # Siblings are unharmed and the dead slot was respawned.
+        follow_up = service.run({"source": HELLO})
+        assert follow_up["output"] == "hello\n"
+        stats = service.pool.stats()
+        assert stats["workers"] == service.config.workers
+        assert stats["crashed"] >= 1
+        assert handle.worker_pid not in stats["worker_pids"]
+
+    def test_watchdog_kills_wedged_run(self):
+        svc = ExecutionService(_cfg(workers=1, watchdog_grace=0.5))
+        try:
+            # time_limit is ignored in-worker on sim (virtual clock), so
+            # only the parent watchdog can end this spin.
+            result = svc.run({"source": SPIN, "backend": "sim",
+                              "time_limit": 0.5,
+                              "step_limit": 500_000_000})
+            assert result["exit_code"] == EXIT_LIMIT
+            assert result["status"] == "time"
+            assert "watchdog" in result["error"]
+            assert svc.pool.stats()["watchdog_kills"] >= 1
+            follow_up = svc.run({"source": HELLO})
+            assert follow_up["output"] == "hello\n"
+        finally:
+            svc.shutdown()
+
+    def test_quota_exhaustion_returns_429(self):
+        svc = ExecutionService(_cfg(rate=1000.0, burst=1000,
+                                    max_concurrent=1))
+        try:
+            handle = svc.submit({"source": SPIN, "time_limit": 25.0,
+                                 "step_limit": 500_000_000},
+                                tenant="greedy")
+            with pytest.raises(ServeError) as err:
+                svc.submit({"source": HELLO}, tenant="greedy")
+            assert err.value.status == 429
+            # Another tenant is not affected by greedy's quota.
+            other = svc.run({"source": HELLO}, tenant="polite")
+            assert other["exit_code"] == 0
+            svc.cancel(handle.id)
+            handle.wait(5.0)
+            # The slot frees once the run finishes.
+            again = svc.run({"source": HELLO}, tenant="greedy")
+            assert again["exit_code"] == 0
+        finally:
+            svc.shutdown()
+
+    def test_rate_limit_returns_429_with_retry_after(self):
+        svc = ExecutionService(_cfg(rate=0.001, burst=1))
+        try:
+            svc.run({"source": HELLO})
+            with pytest.raises(ServeError) as err:
+                svc.submit({"source": HELLO})
+            assert err.value.status == 429
+            assert err.value.retry_after > 0
+        finally:
+            svc.shutdown()
+
+    def test_worker_recycled_after_quota(self):
+        svc = ExecutionService(_cfg(workers=1, recycle_after=2))
+        try:
+            first_pid = None
+            for i in range(3):
+                result = svc.run({"source": HELLO})
+                assert result["output"] == "hello\n"
+                if first_pid is None:
+                    first_pid = svc.pool.stats()["worker_pids"][0]
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                stats = svc.pool.stats()
+                if stats["recycled"] >= 1 \
+                        and first_pid not in stats["worker_pids"]:
+                    break
+                time.sleep(0.05)
+            stats = svc.pool.stats()
+            assert stats["recycled"] >= 1
+            assert first_pid not in stats["worker_pids"]
+            assert stats["workers"] == 1
+        finally:
+            svc.shutdown()
+
+    def test_check_reports_diagnostics(self, service):
+        good = service.check({"source": HELLO})
+        assert good["ok"] and good["diagnostics"] == []
+        bad = service.check({"source": "def main():\n    x = 1 + true\n"})
+        assert not bad["ok"] and bad["diagnostics"]
+
+    def test_stats_shape(self, service):
+        stats = service.stats()
+        assert {"requests_total", "pool", "quotas",
+                "program_cache"} <= set(stats)
+        assert 0.0 <= stats["program_cache"]["hit_rate"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# HTTP + WebSocket transport
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    svc = ExecutionService(_cfg())
+    srv = TetraServer(("127.0.0.1", 0), svc)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    yield host, port
+    srv.shutdown()
+    srv.server_close()
+    svc.shutdown()
+    thread.join(timeout=5.0)
+
+
+def _post(server, path, payload, tenant=None):
+    host, port = server
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Tetra-Tenant"] = tenant
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"), headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _get(server, path):
+    host, port = server
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                    timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestHTTP:
+    def test_healthz(self, server):
+        status, body = _get(server, "/healthz")
+        assert status == 200 and body["ok"]
+
+    def test_run_ok(self, server):
+        status, body = _post(server, "/api/run", {"source": HELLO})
+        assert status == 200
+        assert body["exit_code"] == 0
+        assert body["output"] == "hello\n"
+
+    def test_run_program_error_is_422(self, server):
+        status, body = _post(server, "/api/run",
+                             {"source": "def main():\n    print(1 / 0)\n"})
+        assert status == 422 and body["exit_code"] == EXIT_ERROR
+
+    def test_run_limit_is_408(self, server):
+        status, body = _post(server, "/api/run",
+                             {"source": NOISY, "output_limit": 2000,
+                              "step_limit": 10_000_000})
+        assert status == 408 and body["exit_code"] == EXIT_LIMIT
+
+    def test_malformed_request_is_400(self, server):
+        status, body = _post(server, "/api/run",
+                             {"source": HELLO, "bogus": 1})
+        assert status == 400 and "bogus" in body["error"]
+
+    def test_unknown_route_is_404(self, server):
+        status, body = _post(server, "/api/nope", {})
+        assert status == 404
+
+    def test_stats_route(self, server):
+        status, body = _get(server, "/api/stats")
+        assert status == 200 and "pool" in body
+
+    def test_check_route(self, server):
+        status, body = _post(server, "/api/check", {"source": HELLO})
+        assert status == 200 and body["ok"]
+
+    def test_stream_carries_live_output(self, server):
+        host, port = server
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("POST", "/api/stream",
+                     json.dumps({"source": COUNT}).encode("utf-8"))
+        resp = conn.getresponse()
+        assert resp.status == 200
+        events = [json.loads(line)
+                  for line in resp.read().splitlines() if line.strip()]
+        conn.close()
+        assert events[0]["type"] == "start" and events[0]["id"]
+        outs = [e["text"] for e in events if e["type"] == "out"]
+        assert "".join(outs) == "0\n1\n2\n3\n"
+        done = events[-1]
+        assert done["type"] == "done"
+        assert done["exit_code"] == 0 and done["http_status"] == 200
+
+    def test_cancel_over_http_mid_stream(self, server):
+        host, port = server
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("POST", "/api/stream",
+                     json.dumps({"source": SPIN, "time_limit": 25.0,
+                                 "step_limit": 500_000_000})
+                     .encode("utf-8"))
+        resp = conn.getresponse()
+        start = json.loads(resp.readline())
+        assert start["type"] == "start"
+        # Wait until the run is actually on a worker, then cancel it
+        # from a second connection.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if _get(server, "/api/stats")[1]["pool"]["busy"]:
+                break
+            time.sleep(0.02)
+        status, body = _post(server, "/api/cancel", {"id": start["id"]})
+        assert status == 200 and body["cancelled"]
+        events = [json.loads(line)
+                  for line in resp.read().splitlines() if line.strip()]
+        conn.close()
+        done = events[-1]
+        assert done["type"] == "done"
+        assert done["exit_code"] == EXIT_CANCELLED
+        assert done["http_status"] == 499
+        # The pool healed: a follow-up request runs fine.
+        status, body = _post(server, "/api/run", {"source": HELLO})
+        assert status == 200 and body["output"] == "hello\n"
+
+    def test_cancel_unknown_id_is_404(self, server):
+        status, body = _post(server, "/api/cancel", {"id": "r0-ffffff"})
+        assert status == 404 and not body["cancelled"]
+
+    def test_parallel_http_requests(self, server):
+        def one(i):
+            return _post(server, "/api/run",
+                         {"source": f'def main():\n    print({i})\n'},
+                         tenant=f"p{i}")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(one, range(8)))
+        for i, (status, body) in enumerate(results):
+            assert status == 200
+            assert body["output"] == f"{i}\n"
+
+
+class TestWebSocket:
+    def _open(self, server):
+        host, port = server
+        sock = socket.create_connection((host, port), timeout=30)
+        key = "dGhlIHNhbXBsZSBub25jZQ=="
+        sock.sendall((
+            f"GET /api/ws HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n").encode("ascii"))
+        rfile = sock.makefile("rb")
+        status_line = rfile.readline()
+        assert b"101" in status_line
+        accept = None
+        while True:
+            line = rfile.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode("ascii").partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        assert accept == ws_mod.accept_key(key)
+        return sock, rfile
+
+    def _send(self, sock, message: dict) -> None:
+        sock.sendall(ws_mod.encode_frame(
+            json.dumps(message).encode("utf-8"), mask=True))
+
+    def _events(self, rfile):
+        while True:
+            opcode, payload = ws_mod.read_frame(rfile)
+            if opcode == ws_mod.OP_CLOSE:
+                return
+            yield json.loads(payload)
+
+    def test_round_trip_streams_output(self, server):
+        sock, rfile = self._open(server)
+        try:
+            self._send(sock, {"source": COUNT})
+            events = list(self._events(rfile))
+        finally:
+            sock.close()
+        assert events[0]["type"] == "start"
+        outs = [e["text"] for e in events if e["type"] == "out"]
+        assert "".join(outs) == "0\n1\n2\n3\n"
+        assert events[-1]["type"] == "done"
+        assert events[-1]["exit_code"] == 0
+
+    def test_cancel_over_websocket(self, server):
+        sock, rfile = self._open(server)
+        try:
+            self._send(sock, {"source": SPIN, "time_limit": 25.0,
+                              "step_limit": 500_000_000})
+            opcode, payload = ws_mod.read_frame(rfile)
+            start = json.loads(payload)
+            assert start["type"] == "start"
+            self._send(sock, {"type": "cancel"})
+            events = list(self._events(rfile))
+        finally:
+            sock.close()
+        assert events[-1]["type"] == "done"
+        assert events[-1]["exit_code"] == EXIT_CANCELLED
+
+    def test_plain_get_is_rejected(self, server):
+        status, body = _get(server, "/api/ws")
+        assert status == 426
+
+    def test_frame_codec_round_trips(self):
+        for size in (0, 1, 125, 126, 70_000):
+            payload = bytes(range(256)) * (size // 256 + 1)
+            payload = payload[:size]
+            for mask in (False, True):
+                frame = ws_mod.encode_frame(payload, ws_mod.OP_BINARY,
+                                            mask=mask)
+                import io as _io
+
+                opcode, decoded = ws_mod.read_frame(_io.BytesIO(frame))
+                assert opcode == ws_mod.OP_BINARY
+                assert decoded == payload
