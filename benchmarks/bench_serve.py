@@ -2,15 +2,23 @@
 
 Boots a real :class:`~repro.serve.TetraServer` on an ephemeral port and
 drives it with concurrent HTTP clients the way a classroom would: most
-requests are the *same assignment source* (exercising the shared
-compiled-program cache), a few are per-student variants, and a sprinkle
-are broken programs that must be rejected at the front door without
-costing a sandbox worker.
+requests are the *same assignment source* (the duplicate-heavy shape the
+execution-dedup layer exists for), a few are per-student variants, and a
+sprinkle are broken programs that must be rejected at the front door
+without costing a sandbox worker.
 
-Reported: sustained requests/second, p50/p99 end-to-end latency, and the
-program-cache hit rate.  Run as a script — ``python benchmarks/
-bench_serve.py --smoke --json BENCH_serve_throughput.json`` is the CI
-invocation; drop ``--smoke`` for the full measurement.
+The same workload runs **twice** — once with coalescing and the result
+cache disabled (the no-dedup baseline: every request pays a sandbox
+execution) and once with dedup on — so the report can state the speedup
+and prove the execution count collapsed to the number of *unique*
+runnable programs, not the number of requests.
+
+Reported per mode: sustained requests/second, p50/p99 end-to-end
+latency, the program-cache hit rate, and (dedup mode) sandbox
+executions vs unique requests plus the coalesced/cache-hit split.  Run
+as a script — ``python benchmarks/bench_serve.py --smoke --json
+BENCH_serve_throughput.json`` is the CI invocation; drop ``--smoke``
+for the full measurement.
 """
 
 import json
@@ -28,15 +36,17 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 ASSIGNMENT = (
     "def main():\n"
     "    total = 0\n"
-    "    for i in [1 ... 40]:\n"
+    "    for i in [1 ... 5000]:\n"
     "        total = total + i * i\n"
     "    print(total)\n"
 )
+EXPECTED_OUTPUT = "41679167500\n"  # sum of squares 1..5000
 BROKEN = "def main(:\n"
 
 #: Of every 10 requests: 7 are the shared assignment, 2 are per-client
-#: variants (cache misses), 1 is broken (rejected pre-sandbox).
+#: variants (unique sources), 1 is broken (rejected pre-sandbox).
 MIX_SHARED, MIX_VARIANT = 7, 2
+DUPLICATE_SHARE = MIX_SHARED / 10.0
 
 
 def _request(base: str, payload: dict, tenant: str):
@@ -54,14 +64,17 @@ def _request(base: str, payload: dict, tenant: str):
     return time.perf_counter() - t0, status, body
 
 
-def run_load(total: int, clients: int, workers: int) -> dict:
+def run_load(total: int, clients: int, workers: int,
+             dedup: bool = True) -> dict:
     from repro.api import clear_program_cache
     from repro.serve import ExecutionService, ServeConfig, TetraServer
 
     clear_program_cache()
     config = ServeConfig(port=0, workers=workers,
                          rate=100_000.0, burst=100_000,
-                         max_concurrent=1_000, max_queue=total + clients)
+                         max_concurrent=1_000, max_queue=total + clients,
+                         coalesce=dedup,
+                         result_cache_size=256 if dedup else 0)
     service = ExecutionService(config)
     server = TetraServer(("127.0.0.1", 0), service)
     threading.Thread(target=server.serve_forever, daemon=True).start()
@@ -81,13 +94,15 @@ def run_load(total: int, clients: int, workers: int) -> dict:
         elapsed, status, body = _request(base, payload, f"client-{i % 8}")
         assert status == expect, (status, body)
         if status == 200:
-            assert body["output"] == "22140\n", body
+            assert body["output"] == EXPECTED_OUTPUT, body
         return elapsed, status
 
     try:
-        # Warm the pool and the cache out of the measured window.
+        # Warm the pool and the caches out of the measured window
+        # (shared-source slots only — in dedup mode this primes the
+        # result cache exactly like yesterday's class would have).
         for i in range(workers + 1):
-            one(i * 10)  # shared-source slots only
+            one(i * 10)
         t0 = time.perf_counter()
         with ThreadPoolExecutor(max_workers=clients) as pool:
             measured = list(pool.map(one, range(total)))
@@ -100,7 +115,18 @@ def run_load(total: int, clients: int, workers: int) -> dict:
 
     latencies = sorted(ms for ms, _ in measured)
     rejected = sum(1 for _, status in measured if status == 422)
+    # Unique runnable programs across warmup + measurement: the one
+    # shared assignment plus every per-request variant.
+    variants = sum(1 for i in range(total)
+                   if MIX_SHARED <= i % 10 < MIX_SHARED + MIX_VARIANT)
+    unique_requests = 1 + variants
+    executions = stats["dedup"]["executions"]
+    if dedup:
+        assert executions <= unique_requests, (
+            f"dedup mode ran {executions} sandbox executions for only "
+            f"{unique_requests} unique runnable requests")
     return {
+        "dedup_enabled": dedup,
         "requests": total,
         "clients": clients,
         "pool_workers": workers,
@@ -114,16 +140,37 @@ def run_load(total: int, clients: int, workers: int) -> dict:
         },
         "cache_hit_rate": round(stats["program_cache"]["hit_rate"], 4),
         "compile_rejects": rejected,
+        "executions": executions,
+        "unique_requests": unique_requests,
+        "coalesced": stats["dedup"]["coalesced"],
+        "cache_hits": stats["dedup"]["cache_hits"],
         "pool": {k: stats["pool"][k]
                  for k in ("served", "crashed", "recycled")},
     }
+
+
+def _print_mode(label: str, result: dict) -> None:
+    lat = result["latency_ms"]
+    print(f"  [{label}]")
+    print(f"    throughput: {result['requests_per_second']:8.1f} req/s "
+          f"({result['wall_seconds']:.2f}s wall)")
+    print(f"    latency:    p50 {lat['p50']:.1f} ms   "
+          f"p99 {lat['p99']:.1f} ms   max {lat['max']:.1f} ms")
+    print(f"    executions: {result['executions']} sandbox runs for "
+          f"{result['requests']} requests "
+          f"({result['unique_requests']} unique; "
+          f"{result['coalesced']} coalesced, "
+          f"{result['cache_hits']} cache hits)")
+    print(f"    cache:      {result['cache_hit_rate']:.1%} program-cache "
+          f"hit rate   {result['compile_rejects']} compile rejects")
 
 
 def main(argv=None):
     import argparse
 
     parser = argparse.ArgumentParser(
-        description="tetra serve load benchmark: req/s, p99, cache hits",
+        description="tetra serve load benchmark: req/s with and without "
+                    "execution dedup on a duplicate-heavy workload",
     )
     parser.add_argument("--smoke", action="store_true",
                         help="small request count, short run (CI)")
@@ -139,27 +186,33 @@ def main(argv=None):
 
     total = args.requests or (40 if args.smoke else 200)
     cores = os.cpu_count() or 1
-    print(f"tetra serve load: {total} requests, {args.clients} clients, "
+    print(f"tetra serve load: {total} requests "
+          f"({DUPLICATE_SHARE:.0%} identical), {args.clients} clients, "
           f"{args.workers} sandbox workers, {cores} core(s)")
-    result = run_load(total, args.clients, args.workers)
-    print(f"  throughput: {result['requests_per_second']:8.1f} req/s "
-          f"({result['wall_seconds']:.2f}s wall)")
-    lat = result["latency_ms"]
-    print(f"  latency:    p50 {lat['p50']:.1f} ms   "
-          f"p99 {lat['p99']:.1f} ms   max {lat['max']:.1f} ms")
-    print(f"  cache:      {result['cache_hit_rate']:.1%} hit rate   "
-          f"{result['compile_rejects']} compile rejects "
-          "(cost no sandbox time)")
-    print(f"  pool:       {result['pool']['served']} served, "
-          f"{result['pool']['crashed']} crashed, "
-          f"{result['pool']['recycled']} recycled")
+    baseline = run_load(total, args.clients, args.workers, dedup=False)
+    _print_mode("no dedup", baseline)
+    deduped = run_load(total, args.clients, args.workers, dedup=True)
+    _print_mode("dedup", deduped)
+    speedup = (deduped["requests_per_second"]
+               / baseline["requests_per_second"]) \
+        if baseline["requests_per_second"] else 0.0
+    print(f"  dedup speedup: {speedup:.2f}x req/s on the "
+          f"duplicate-heavy mix")
 
     if args.json:
         payload = {
             "benchmark": "serve_throughput",
             "mode": "smoke" if args.smoke else "full",
             "machine_cores": cores,
-            **result,
+            "workload": {
+                "requests": total,
+                "clients": args.clients,
+                "pool_workers": args.workers,
+                "duplicate_share": DUPLICATE_SHARE,
+            },
+            "no_dedup": baseline,
+            "dedup": deduped,
+            "dedup_speedup": round(speedup, 2),
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -4,15 +4,26 @@ The first resident is the data-race detector (:mod:`repro.analysis.races`):
 vector-clock happens-before plus Eraser-style locksets, fed by the
 interpreter's shared read/write events and span-anchored so every report
 points at the two source lines that conflict (:mod:`repro.analysis.report`).
+The static determinism analysis (:mod:`repro.analysis.determinism`) answers
+whether a run may be cached and replayed as truth — the gate behind the
+hosted service's result cache.
 """
 
+from .determinism import (
+    DeterminismInfo,
+    determinism_info,
+    nondeterminism_reason,
+)
 from .races import RaceDetector, replay_trace
 from .report import AccessSite, RaceReport, render_race_panel
 
 __all__ = [
     "AccessSite",
+    "DeterminismInfo",
     "RaceDetector",
     "RaceReport",
+    "determinism_info",
+    "nondeterminism_reason",
     "render_race_panel",
     "replay_trace",
 ]

@@ -1,0 +1,103 @@
+"""Static determinism analysis: may a run's result be replayed as truth?
+
+The hosted service (``tetra serve``) wants to answer one question before
+it caches a result or hands a cached one out: *is this run a pure
+function of (source, entry, inputs, config)?*  If it is, every future
+request with the same key deserves byte-identical output and the result
+can be cached; if it is not — a racy thread-backend schedule, a
+``clock()`` read of the host clock — replaying one sampled outcome as
+truth would teach a student that their racy program is deterministic.
+
+The analysis is a single AST walk (memoized on the checked ``Program``
+as interpreter metadata, so every consumer of a cached tree pays it at
+most once) collecting two facts:
+
+* ``uses_clock`` — the program mentions ``clock()`` anywhere.  On a
+  host-clock backend (thread / sequential / proc) its value differs
+  every run; sim and coop tick deterministic virtual units.
+* ``uses_parallel`` — the program contains a ``parallel for``, a
+  ``parallel:`` block, or a ``background:`` block anywhere.  On the
+  real-thread backends (thread / proc) the OS scheduler picks the
+  interleaving; the sim and coop schedulers are deterministic policies.
+
+Both facts deliberately over-approximate (a ``clock()`` call inside dead
+code still counts): an over-approximation only costs cache hits, never
+correctness.  ``sleep()`` is *not* tracked — it shifts wall time but
+never produces a value, so it cannot make output diverge on its own.
+Input reads (``read_*``) are deterministic given the request's input
+lines, which are part of the cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tetra_ast import Program
+from ..tetra_ast.nodes import (
+    BackgroundBlock,
+    Call,
+    Node,
+    ParallelBlock,
+    ParallelFor,
+)
+
+#: Backends whose schedule and clock are pure functions of the request:
+#: sim and coop tick virtual time and schedule by a fixed policy.
+DETERMINISTIC_BACKENDS = frozenset({"sim", "coop"})
+
+#: Backends where real OS threads pick the interleaving.
+THREADED_BACKENDS = frozenset({"thread", "proc"})
+
+#: Builtins whose value depends on when (not what) you ask.
+_WALLCLOCK_BUILTINS = frozenset({"clock"})
+
+
+@dataclass(frozen=True)
+class DeterminismInfo:
+    """What a program *could* do that makes reruns diverge."""
+
+    uses_clock: bool
+    uses_parallel: bool
+
+
+def _scan(node: Node, found: dict) -> None:
+    if isinstance(node, (ParallelFor, ParallelBlock, BackgroundBlock)):
+        found["parallel"] = True
+    elif isinstance(node, Call) and node.func in _WALLCLOCK_BUILTINS:
+        found["clock"] = True
+    if found["parallel"] and found["clock"]:
+        return  # nothing left to learn
+    for child in node.children():
+        _scan(child, found)
+
+
+def determinism_info(program: Program) -> DeterminismInfo:
+    """The (memoized) determinism facts for a checked program tree."""
+    info = getattr(program, "_determinism", None)
+    if info is None:
+        found = {"parallel": False, "clock": False}
+        _scan(program, found)
+        info = DeterminismInfo(uses_clock=found["clock"],
+                               uses_parallel=found["parallel"])
+        program._determinism = info  # type: ignore[attr-defined]
+    return info
+
+
+def nondeterminism_reason(program: Program, backend: str) -> str | None:
+    """``None`` when a run of ``program`` on ``backend`` is a pure
+    function of (source, entry, inputs, config) — otherwise a short
+    human-readable reason it is not.
+
+    Chaos injection and schedule recording are request-level concerns the
+    caller layers on top; this answers only for the program × backend
+    pair.
+    """
+    if backend in DETERMINISTIC_BACKENDS:
+        return None
+    info = determinism_info(program)
+    if info.uses_clock:
+        return "the program reads the host clock (clock())"
+    if info.uses_parallel and backend in THREADED_BACKENDS:
+        return (f"the program spawns threads and the {backend!r} backend's "
+                "schedule is picked by the OS")
+    return None

@@ -190,6 +190,12 @@ def cached_program(text: str, name: str = "<string>",
         waiter.wait()
     try:
         compiled = compile_source(text, name)
+        # Pre-attach the determinism metadata while we are the single
+        # flight: every later consumer of this cached tree — notably the
+        # serve layer's result-cache gate — reads it as a plain attribute.
+        from .analysis.determinism import determinism_info
+
+        determinism_info(compiled[0])
     except BaseException:
         with _cache_lock:
             done = _inflight.pop(key, None)

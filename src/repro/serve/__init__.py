@@ -8,14 +8,19 @@ tenants.  See README "Hosted execution (`tetra serve`)" and DESIGN.md §7.
 
 Layering (each file one concern):
 
-    protocol.py   request validation, limit clamping, exit→HTTP mapping
+    protocol.py   request validation, limit clamping, run_key identity,
+                  exit→HTTP mapping
     quotas.py     per-tenant token-bucket rate + concurrency quotas
     pool.py       the sandbox worker pool (fork, stream, cancel, watchdog)
-    service.py    ExecutionService — validate → admit → compile → run
+    cache.py      the bounded LRU of pure run results (optional JSON
+                  persistence)
+    service.py    ExecutionService — validate → admit → compile →
+                  dedup (cache / coalesce) → run
     ws.py         minimal RFC 6455 framing (server and test-client side)
     http.py       the ThreadingHTTPServer transport and ``serve()`` loop
 """
 
+from .cache import ResultCache
 from .http import TetraServeHandler, TetraServer, serve
 from .pool import RunHandle, RunnerPool
 from .protocol import (
@@ -23,6 +28,7 @@ from .protocol import (
     ServeConfig,
     ServeError,
     http_status_for_exit,
+    run_key,
     validate_request,
 )
 from .quotas import TenantQuotas
@@ -32,6 +38,7 @@ __all__ = [
     "ANONYMOUS",
     "EXIT_HTTP_STATUS",
     "ExecutionService",
+    "ResultCache",
     "RunHandle",
     "RunnerPool",
     "ServeConfig",
@@ -40,6 +47,7 @@ __all__ = [
     "TetraServeHandler",
     "TetraServer",
     "http_status_for_exit",
+    "run_key",
     "serve",
     "validate_request",
 ]

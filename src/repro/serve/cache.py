@@ -1,0 +1,123 @@
+"""Bounded LRU cache of *pure* run results, with optional persistence.
+
+The service consults this before dispatching a run and stores into it
+after one finishes — but only for runs the determinism analysis
+(:mod:`repro.analysis.determinism`) proved replayable.  The cache itself
+is deliberately dumb: it never judges cacheability, it just remembers
+what the service tells it to, keyed by :func:`repro.serve.protocol.run_key`.
+
+Keys are nested tuples (hashable, JSON-roundtrippable as nested lists);
+values are the plain result dicts the pool produces.  Stored results are
+copied on the way in and handed out as-is — the service copies again per
+waiter before mutating (adding ``"cached": True``), so entries stay
+frozen.
+
+Persistence is best-effort JSON: load errors at boot and save errors at
+shutdown are swallowed (a cold cache is always correct), and the file
+format is simply ``[[key, result], ...]`` in LRU order, oldest first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+
+
+def _freeze(obj):
+    """Recursively convert JSON lists back into the tuples run_key built."""
+    if isinstance(obj, list):
+        return tuple(_freeze(item) for item in obj)
+    return obj
+
+
+class ResultCache:
+    """Thread-safe LRU of run results.  ``capacity <= 0`` disables it
+    (gets always miss, puts are dropped) while keeping the call sites
+    unconditional."""
+
+    def __init__(self, capacity: int = 256, path: str | None = None):
+        self.capacity = int(capacity)
+        self.path = path
+        self._mu = threading.Lock()
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evicted = 0
+        if path:
+            self._load()
+
+    def get(self, key: tuple) -> dict | None:
+        with self._mu:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: tuple, result: dict) -> None:
+        if self.capacity <= 0:
+            return
+        with self._mu:
+            self._entries[key] = dict(result)
+            self._entries.move_to_end(key)
+            self.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+
+    def __len__(self) -> int:
+        with self._mu:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evicted": self.evicted,
+            }
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                pairs = json.load(fh)
+            if not isinstance(pairs, list):
+                return
+            for pair in pairs:
+                if (not isinstance(pair, list) or len(pair) != 2
+                        or not isinstance(pair[1], dict)):
+                    continue
+                key = _freeze(pair[0])
+                if isinstance(key, tuple):
+                    self._entries[key] = pair[1]
+            while 0 < self.capacity < len(self._entries):
+                self._entries.popitem(last=False)
+        except (OSError, ValueError):
+            # A missing or corrupt file just means a cold start.
+            self._entries.clear()
+
+    def save(self) -> None:
+        """Write the cache to ``path`` (atomic rename), LRU order kept."""
+        if not self.path:
+            return
+        with self._mu:
+            pairs = [[list(key), result]
+                     for key, result in self._entries.items()]
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(pairs, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -3,7 +3,7 @@
 Endpoints (tenant = the ``X-Tetra-Tenant`` header, else ``anonymous``):
 
     GET  /healthz        liveness probe
-    GET  /api/stats      pool / quota / program-cache statistics
+    GET  /api/stats      pool / quota / dedup / program-cache statistics
     POST /api/check      static diagnostics only (no sandbox)
     POST /api/run        run to completion, JSON result
     POST /api/stream     run with live output as NDJSON lines
@@ -155,8 +155,11 @@ class TetraServeHandler(BaseHTTPRequestHandler):
             self.wfile.write(json.dumps(event).encode("utf-8") + b"\n")
             self.wfile.flush()
 
+        start = {"type": "start", "id": handle.id}
+        if handle.dedup:
+            start["dedup"] = handle.dedup
         try:
-            emit({"type": "start", "id": handle.id})
+            emit(start)
             while True:
                 kind, payload = handle.events.get()
                 if kind == "out":
@@ -199,7 +202,10 @@ class TetraServeHandler(BaseHTTPRequestHandler):
             send({"type": "error", "status": exc.status,
                   "error": exc.message})
             return
-        send({"type": "start", "id": handle.id})
+        start = {"type": "start", "id": handle.id}
+        if handle.dedup:
+            start["dedup"] = handle.dedup
+        send(start)
         try:
             self._ws_pump(handle, send)
         except (BrokenPipeError, ConnectionResetError, OSError):

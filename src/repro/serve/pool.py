@@ -249,6 +249,14 @@ class RunHandle:
         self.started_at: float | None = None
         #: Called exactly once with the result (quota release hooks).
         self.on_done = None
+        #: ``"coalesced"`` / ``"cache"`` when the service satisfied this
+        #: request without its own sandbox run; ``None`` otherwise.
+        self.dedup: str | None = None
+
+    def emit_output(self, text: str) -> None:
+        """Deliver one chunk of live output (a no-op once finished)."""
+        if not self.done.is_set():
+            self.events.put(("out", text))
 
     def finish(self, result: dict) -> None:
         if self.done.is_set():
@@ -268,7 +276,7 @@ class RunHandle:
         return self.result
 
 
-def _pool_result(status: str, exit_code: int, message: str) -> dict:
+def pool_result(status: str, exit_code: int, message: str) -> dict:
     """A result the *pool* synthesizes when no worker payload exists
     (crash, cancellation, shutdown, watchdog kill)."""
     return {
@@ -314,6 +322,7 @@ class RunnerPool:
         self.recycle_after = int(recycle_after)
         self.max_queue = int(max_queue)
         self.watchdog_grace = float(watchdog_grace)
+        self.submitted = 0
         self.served = 0
         self.crashed = 0
         self.recycled = 0
@@ -387,7 +396,7 @@ class RunnerPool:
             pending = list(self._pending)
             self._pending.clear()
         for handle in pending:
-            handle.finish(_pool_result(
+            handle.finish(pool_result(
                 "cancelled", EXIT_CANCELLED, "the server is shutting down"))
         for worker in workers:
             try:
@@ -408,7 +417,7 @@ class RunnerPool:
                 worker.proc.kill()
                 worker.proc.join(timeout=0.5)
             if worker.handle is not None:
-                worker.handle.finish(_pool_result(
+                worker.handle.finish(pool_result(
                     "cancelled", EXIT_CANCELLED,
                     "the server is shutting down"))
             try:
@@ -430,8 +439,13 @@ class RunnerPool:
             self._retired = []
 
     # -- submission ----------------------------------------------------
-    def submit(self, request: dict) -> RunHandle:
-        handle = RunHandle(request)
+    def submit(self, request: dict,
+               handle: RunHandle | None = None) -> RunHandle:
+        """Queue one request for a sandbox worker.  The service may pass
+        its own ``handle`` (a broadcasting subclass for coalesced runs);
+        the pool treats it exactly like one it built itself."""
+        if handle is None:
+            handle = RunHandle(request)
         with self._mu:
             if self._closed:
                 raise ServeError(503, "the server is shutting down")
@@ -444,6 +458,7 @@ class RunnerPool:
                     retry_after=1.0,
                 )
             self._handles[handle.id] = handle
+            self.submitted += 1
             if idle is not None:
                 self._assign_locked(idle, handle)
             else:
@@ -505,8 +520,8 @@ class RunnerPool:
         kind, req_id, payload = msg
         if kind == "out":
             handle = self._handles.get(req_id)
-            if handle is not None and not handle.done.is_set():
-                handle.events.put(("out", payload))
+            if handle is not None:
+                handle.emit_output(payload)
             return
         # "done"
         with self._mu:
@@ -547,7 +562,7 @@ class RunnerPool:
                 self._handles.pop(handle.id, None)
             self._dispatch_pending_locked()
         if handle is not None:
-            handle.finish(_pool_result("error", 1, _CRASH_RESULT))
+            handle.finish(pool_result("error", 1, _CRASH_RESULT))
 
     def _check_watchdog(self) -> None:
         """Kill workers wedged well past their run's time budget."""
@@ -571,7 +586,7 @@ class RunnerPool:
             if victims:
                 self._dispatch_pending_locked()
         for _worker, handle in victims:
-            handle.finish(_pool_result(
+            handle.finish(pool_result(
                 "time", EXIT_LIMIT,
                 f"the run exceeded its time budget of "
                 f"{handle.request.get('time_limit', 0):g}s and was killed "
@@ -603,7 +618,7 @@ class RunnerPool:
                         self._spawn_locked()
                     self._dispatch_pending_locked()
             self.cancelled += 1
-        handle.finish(_pool_result(
+        handle.finish(pool_result(
             "cancelled", EXIT_CANCELLED, f"the run was cancelled — {reason}"))
         return True
 
@@ -615,6 +630,7 @@ class RunnerPool:
                 "busy": sum(1 for w in self._workers.values()
                             if w.handle is not None),
                 "pending": len(self._pending),
+                "submitted": self.submitted,
                 "served": self.served,
                 "crashed": self.crashed,
                 "recycled": self.recycled,

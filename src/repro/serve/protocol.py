@@ -47,6 +47,8 @@ Server-level conditions use the usual codes on top: 404 unknown route,
 
 from __future__ import annotations
 
+import hashlib
+import math
 from dataclasses import dataclass, field
 
 from ..errors import (
@@ -146,20 +148,69 @@ class ServeConfig:
     #: watchdog catches wedged runs that never reach a statement
     #: boundary).
     watchdog_grace: float = 3.0
+    #: Collapse concurrent identical submissions (same :func:`run_key`)
+    #: into one sandbox execution fanned out to every waiter.
+    coalesce: bool = True
+    #: Entries in the pure-result cache (0 disables it).  Only runs the
+    #: determinism analysis proves replayable are ever stored.
+    result_cache_size: int = 256
+    #: Optional JSON file the result cache loads at boot and saves at
+    #: shutdown, so a restart keeps yesterday's classroom warm.
+    result_cache_path: str | None = None
 
 
 def _clamp(value, default, ceiling, *, kind=float, name=""):
+    """Clamp one guardrail between the operator default (what 0/absent
+    means) and the hard ceiling.
+
+    Only finite, non-negative JSON numbers pass.  ``min(value, ceiling)``
+    alone is not a clamp: ``NaN`` compares false against everything (so
+    ``min`` hands it straight through and every later ``elapsed > limit``
+    check silently never fires), and ``Infinity`` survives the old
+    ``< 0`` test only to blow up ``int()`` with an ``OverflowError`` deep
+    in dispatch.  Both are a 400 at the front door now.
+    """
     if value is None:
         value = 0
-    try:
-        value = kind(value)
-    except (TypeError, ValueError):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ServeError(400, f"{name} must be a number") from None
+    value = float(value)
+    if not math.isfinite(value):
+        raise ServeError(400, f"{name} must be a finite number")
     if value < 0:
         raise ServeError(400, f"{name} must be non-negative")
     if not value:
         value = default
-    return min(value, ceiling)
+    return kind(min(value, ceiling))
+
+
+def run_key(request: dict) -> tuple:
+    """The execution-identity key of one *validated* request.
+
+    Two requests with equal keys ask for the same computation: same
+    program (by sha), entry point, input lines, backend and scheduling
+    knobs, guardrail budgets, and instrumentation flags.  Tenant and
+    request id are deliberately excluded — identity is *what* runs, not
+    *who* asked.  This is the key both request coalescing and the result
+    cache share.
+    """
+    return (
+        hashlib.sha256(request["source"].encode("utf-8")).hexdigest(),
+        request["name"],
+        request["entry"],
+        tuple(request["inputs"]),
+        request["backend"],
+        request["chunking"],
+        request["workers"],
+        bool(request["detect_races"]),
+        bool(request["metrics"]),
+        bool(request["record_schedule"]),
+        request["chaos_seed"],
+        request["time_limit"],
+        request["memory_limit"],
+        request["step_limit"],
+        request["output_limit"],
+    )
 
 
 _KNOWN_FIELDS = frozenset({

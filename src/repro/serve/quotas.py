@@ -6,12 +6,25 @@ questions, both answered under one lock:
 
 * **Rate**: a classic token bucket — ``burst`` tokens capacity, refilled
   at ``rate`` tokens/second — absorbs a classroom's click-storms while
-  bounding sustained throughput per tenant.
+  bounding sustained throughput per tenant.  ``rate=0`` is the operator's
+  off switch: once the initial burst is spent the tenant is refused
+  cleanly (no division by the zero refill rate, no bogus wait estimate).
 * **Concurrency**: at most ``max_concurrent`` *running* requests per
   tenant, so a single tenant cannot occupy every sandbox worker and
   starve the rest of the class.
 
-Refusals carry ``retry_after`` so clients can back off politely.
+Refusals carry ``retry_after`` so clients can back off politely; the
+advertised wait is always capped at :data:`RETRY_AFTER_CAP` — a client
+told "retry in 1000 seconds" treats the number as noise, and a disabled
+tenant has no honest wait at all.
+
+The bucket table is bounded two ways, both **lossless**: a bucket may
+only be dropped when it is indistinguishable from a fresh one (no active
+runs *and* fully refilled).  Evicting anything else would resurrect the
+tenant with a free burst on its next request — exactly what a tenant
+mid-rate-storm (or one the operator disabled) must not get.  Buckets
+that cannot refill (``rate=0``, tokens spent) are therefore pinned in
+the table by design.
 """
 
 from __future__ import annotations
@@ -20,6 +33,15 @@ import threading
 
 from ..stdlib.builtin_time import monotonic_clock
 from .protocol import ServeError
+
+#: Largest wait (seconds) ever advertised in ``Retry-After``.
+RETRY_AFTER_CAP = 60.0
+
+#: Bucket-table size that triggers a prune sweep before a new tenant is
+#: added.  A soft cap: only fresh-equivalent buckets are evicted, so a
+#: storm of non-idle tenants can still grow past it (correctness over
+#: bound; ``stats()`` exposes the size).
+DEFAULT_MAX_TENANTS = 4096
 
 
 class _Bucket:
@@ -41,27 +63,52 @@ class TenantQuotas:
     """
 
     def __init__(self, rate: float = 10.0, burst: int = 20,
-                 max_concurrent: int = 4, clock=monotonic_clock):
-        self.rate = float(rate)
-        self.burst = float(burst)
+                 max_concurrent: int = 4, clock=monotonic_clock,
+                 max_tenants: int = DEFAULT_MAX_TENANTS):
+        self.rate = max(0.0, float(rate))
+        self.burst = max(0.0, float(burst))
         self.max_concurrent = int(max_concurrent)
+        self.max_tenants = max(1, int(max_tenants))
         self._clock = clock
         self._mu = threading.Lock()
         self._buckets: dict[str, _Bucket] = {}
         self.admitted = 0
         self.rate_limited = 0
         self.over_concurrency = 0
+        self.pruned = 0
+
+    def _refill(self, bucket: _Bucket, now: float) -> None:
+        bucket.tokens = min(
+            self.burst,
+            bucket.tokens + (now - bucket.stamp) * self.rate,
+        )
+        bucket.stamp = now
+
+    def _prune_locked(self, now: float) -> None:
+        """Drop every bucket indistinguishable from a fresh one.
+
+        Only idle-and-fully-refilled buckets qualify: evicting a bucket
+        with spent tokens would hand its tenant a brand-new burst on the
+        next request — a rate-limited tenant mid-storm (or a disabled
+        ``rate=0`` tenant) would be resurrected at full credit.
+        """
+        for tenant in list(self._buckets):
+            bucket = self._buckets[tenant]
+            if bucket.active:
+                continue
+            self._refill(bucket, now)
+            if bucket.tokens >= self.burst:
+                del self._buckets[tenant]
+                self.pruned += 1
 
     def _bucket(self, tenant: str, now: float) -> _Bucket:
         bucket = self._buckets.get(tenant)
         if bucket is None:
+            if len(self._buckets) >= self.max_tenants:
+                self._prune_locked(now)
             bucket = self._buckets[tenant] = _Bucket(self.burst, now)
         else:
-            bucket.tokens = min(
-                self.burst,
-                bucket.tokens + (now - bucket.stamp) * self.rate,
-            )
-            bucket.stamp = now
+            self._refill(bucket, now)
         return bucket
 
     def admit(self, tenant: str) -> None:
@@ -84,8 +131,18 @@ class TenantQuotas:
                 )
             if bucket.tokens < 1.0:
                 self.rate_limited += 1
-                wait = (1.0 - bucket.tokens) / self.rate if self.rate \
-                    else 60.0
+                if self.rate <= 0.0:
+                    # The operator's off switch: no refill is coming, so
+                    # there is no honest wait to advertise — refuse with
+                    # the capped default instead of dividing by zero.
+                    raise ServeError(
+                        429,
+                        f"tenant {tenant!r} has requests disabled "
+                        "(rate 0) — contact the operator",
+                        retry_after=RETRY_AFTER_CAP,
+                    )
+                wait = min((1.0 - bucket.tokens) / self.rate,
+                           RETRY_AFTER_CAP)
                 raise ServeError(
                     429,
                     f"tenant {tenant!r} is over its request rate "
@@ -106,8 +163,7 @@ class TenantQuotas:
             bucket.active = max(0, bucket.active - 1)
             # Prune tenants that are idle *and* fully refilled — keeping
             # them would only replay the same full-bucket state later.
-            now = self._clock()
-            self._bucket(tenant, now)
+            self._refill(bucket, self._clock())
             if bucket.active == 0 and bucket.tokens >= self.burst:
                 del self._buckets[tenant]
 
@@ -125,7 +181,9 @@ class TenantQuotas:
                 "admitted": self.admitted,
                 "rate_limited": self.rate_limited,
                 "over_concurrency": self.over_concurrency,
+                "pruned": self.pruned,
                 "rate": self.rate,
                 "burst": self.burst,
                 "max_concurrent": self.max_concurrent,
+                "max_tenants": self.max_tenants,
             }

@@ -15,11 +15,38 @@ object.  A request's life:
    and a warm entry makes the steady state (a whole classroom running the
    same assignment) compile exactly once, thanks to the single-flight
    cache.  Workers forked later inherit the warm cache for free.
-4. **Run** in a sandboxed pool worker (:class:`~repro.serve.pool
+4. **Deduplicate** — the same single-flight idea, one level up.  Every
+   validated request has an execution identity, its
+   :func:`~repro.serve.protocol.run_key` (program sha, entry, inputs,
+   backend, limits, flags).  Two dedup layers consult it:
+
+   * **Result cache** — if the static determinism analysis
+     (:mod:`repro.analysis.determinism`) proves the run a pure function
+     of its key, a previously stored result is returned without touching
+     a sandbox.  Racy thread-backend runs, ``clock()`` readers, chaos
+     and schedule-recording runs are *never* cached: replaying one
+     sampled schedule as truth would teach a student their racy program
+     is deterministic.
+   * **Coalescing** — concurrent identical submissions attach to the
+     run already in flight instead of starting their own.  Output fans
+     out to every waiter live (buffered chunks are replayed to late
+     joiners), and the one result finishes them all.  Cancelling one
+     waiter detaches just that waiter; only the *last* waiter's cancel
+     kills the underlying sandbox run.  Coalescing is safe even for
+     nondeterministic programs — every waiter observes one real
+     execution, the same guarantee a lone submitter gets.
+
+5. **Run** in a sandboxed pool worker (:class:`~repro.serve.pool
    .RunnerPool`), streaming output, with cancel-by-kill and a watchdog.
 
 The quota is released when the run *finishes* (the handle's ``on_done``
 hook), not when it is submitted — "max concurrent" means concurrent.
+
+Lock order, outermost first: ``service._mu`` → ``shared.mu``;
+``service._mu`` → ``pool._mu``.  The pool never calls back into the
+service while holding its own lock (handles are finished outside
+``pool._mu``), so the ``on_done`` → :meth:`_finish_shared` hop cannot
+invert the order.
 """
 
 from __future__ import annotations
@@ -28,15 +55,82 @@ import itertools
 import os
 import threading
 
+from ..analysis.determinism import nondeterminism_reason
 from ..api import cached_program, program_cache_info
-from ..errors import TetraError, exit_code_for
+from ..errors import EXIT_CANCELLED, TetraError, exit_code_for
 from ..source import SourceFile
-from .pool import RunHandle, RunnerPool
-from .protocol import ServeConfig, ServeError, validate_request
+from .cache import ResultCache
+from .pool import RunHandle, RunnerPool, pool_result
+from .protocol import ServeConfig, ServeError, run_key, validate_request
 from .quotas import TenantQuotas
 
 #: Tenant attributed to requests that do not name one.
 ANONYMOUS = "anonymous"
+
+
+class _SharedRun:
+    """One in-flight sandbox execution, shared by its attached waiters."""
+
+    __slots__ = ("key", "exec_request", "handle", "waiters", "chunks",
+                 "done", "cancelled", "cacheable", "mu")
+
+    def __init__(self, key: tuple, exec_request: dict, cacheable: bool):
+        self.key = key
+        self.exec_request = exec_request
+        self.handle: _ExecHandle | None = None
+        self.waiters: list[RunHandle] = []
+        self.chunks: list[str] = []
+        self.done = False
+        self.cancelled = False
+        self.cacheable = cacheable
+        self.mu = threading.Lock()
+
+
+class _ExecHandle(RunHandle):
+    """The pool-side handle of a shared run: broadcasts live output to
+    every attached waiter and records it for late joiners."""
+
+    def __init__(self, request: dict, shared: _SharedRun):
+        # Before super().__init__: RunHandle assigns ``worker_pid`` and
+        # the property setter below already needs ``self.shared``.
+        self.shared = shared
+        self._worker_pid: int | None = None
+        super().__init__(request)
+
+    def emit_output(self, text: str) -> None:
+        shared = self.shared
+        with shared.mu:
+            if shared.done:
+                return
+            shared.chunks.append(text)
+            waiters = list(shared.waiters)
+        for waiter in waiters:
+            waiter.emit_output(text)
+
+    # Waiters surface the sandbox pid (tests and transports poll it to
+    # learn a run left the queue), so forward the pool's assignment.
+    @property
+    def worker_pid(self) -> int | None:
+        return self._worker_pid
+
+    @worker_pid.setter
+    def worker_pid(self, pid: int | None) -> None:
+        self._worker_pid = pid
+        shared = self.shared
+        with shared.mu:
+            waiters = list(shared.waiters)
+        for waiter in waiters:
+            waiter.worker_pid = pid
+
+
+class _Entry:
+    """The service's registration of one admitted request."""
+
+    __slots__ = ("handle", "shared")
+
+    def __init__(self, handle: RunHandle):
+        self.handle = handle
+        self.shared: _SharedRun | None = None
 
 
 class ExecutionService:
@@ -51,12 +145,21 @@ class ExecutionService:
                                recycle_after=cfg.recycle_after,
                                max_queue=cfg.max_queue,
                                watchdog_grace=cfg.watchdog_grace)
+        self.result_cache = ResultCache(capacity=cfg.result_cache_size,
+                                        path=cfg.result_cache_path)
         self._mu = threading.Lock()
         self._seq = itertools.count(1)
         self._closed = False
+        #: request id → _Entry for every admitted, unfinished request.
+        self._runs: dict[str, _Entry] = {}
+        #: run_key → live _SharedRun (removed the moment it finishes or
+        #: its last waiter cancels, so a stale run is never joined).
+        self._shared: dict[tuple, _SharedRun] = {}
         self.requests_total = 0
         self.rejected_total = 0
         self.compile_rejects = 0
+        self.coalesced_total = 0
+        self.cancelled_total = 0
 
     # -- identity ------------------------------------------------------
     def _request_id(self) -> str:
@@ -85,31 +188,44 @@ class ExecutionService:
         request["tenant"] = tenant
         request["id"] = self._request_id()
         self.quotas.admit(tenant)  # raises ServeError(429)
+        waiter = RunHandle(request)
+        waiter.on_done = lambda _result: self.quotas.release(tenant)
+        entry = _Entry(waiter)
+        with self._mu:
+            self._runs[request["id"]] = entry
         try:
-            handle = self._dispatch(request)
+            self._place(entry, waiter, request)
         except BaseException:
-            self.quotas.release(tenant)
+            with self._mu:
+                if self._runs.get(request["id"]) is entry:
+                    del self._runs[request["id"]]
+            if not waiter.done.is_set():
+                waiter.on_done = None
+                self.quotas.release(tenant)
             raise
-        return handle
+        return waiter
 
-    def _dispatch(self, request: dict) -> RunHandle:
-        tenant = request["tenant"]
+    def _place(self, entry: _Entry, waiter: RunHandle,
+               request: dict) -> None:
+        """Satisfy ``request``: cached result, an in-flight identical
+        run, or a fresh sandbox execution — in that order."""
+        req_id = request["id"]
         try:
             # The shared front-end cache: every tenant's identical source
             # hits one compiled tree, and concurrent first-requests are
             # single-flight.  (Workers compile their own instrumented
             # variants on demand; this also rejects broken programs
             # before they cost a sandbox slot.)
-            cached_program(request["source"], request["name"],
-                           request["entry"])
+            program, _source = cached_program(
+                request["source"], request["name"], request["entry"])
         except TetraError as exc:
             with self._mu:
                 self.compile_rejects += 1
+                if self._runs.get(req_id) is entry:
+                    del self._runs[req_id]
             source = SourceFile.from_string(request["source"],
                                             request["name"])
-            handle = RunHandle(request)
-            self.quotas.release(tenant)
-            handle.finish({
+            waiter.finish({
                 "status": "error",
                 "phase": "compile",
                 "exit_code": exit_code_for(exc),
@@ -121,10 +237,105 @@ class ExecutionService:
                 "schedule": None,
                 "wall_ms": 0.0,
             })
-            return handle
-        handle = self.pool.submit(request)
-        handle.on_done = lambda _result: self.quotas.release(tenant)
-        return handle
+            return
+        key = run_key(request)
+        cacheable = self._uncacheable_reason(request, program) is None
+        if cacheable:
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                with self._mu:
+                    if self._runs.get(req_id) is not entry:
+                        return  # cancelled while we were compiling
+                    del self._runs[req_id]
+                result = dict(cached)
+                result["cached"] = True
+                waiter.dedup = "cache"
+                if result.get("output"):
+                    waiter.emit_output(result["output"])
+                waiter.finish(result)
+                return
+        with self._mu:
+            if self._runs.get(req_id) is not entry:
+                # Cancelled between admission and dispatch: the cancel
+                # already finished the waiter; starting the sandbox run
+                # anyway would burn a worker on a dead request.
+                return
+            if self.config.coalesce:
+                shared = self._shared.get(key)
+                if shared is not None:
+                    with shared.mu:
+                        if not shared.done and not shared.cancelled:
+                            shared.waiters.append(waiter)
+                            entry.shared = shared
+                            waiter.dedup = "coalesced"
+                            self.coalesced_total += 1
+                            # Replay what the run printed before we
+                            # joined, then the live broadcast takes over.
+                            for chunk in shared.chunks:
+                                waiter.events.put(("out", chunk))
+                            if shared.handle is not None:
+                                pid = shared.handle._worker_pid
+                                if pid is not None:
+                                    waiter.worker_pid = pid
+                            return
+            # Fresh execution.  The sandbox run gets its own id (the
+            # submitter's id + "x") so a waiter cancel and an execution
+            # kill are distinct operations on the pool.
+            exec_request = dict(request)
+            exec_request["id"] = req_id + "x"
+            shared = _SharedRun(key, exec_request, cacheable)
+            handle = _ExecHandle(exec_request, shared)
+            handle.on_done = \
+                lambda result, s=shared: self._finish_shared(s, result)
+            shared.waiters.append(waiter)
+            entry.shared = shared
+            # Submit while still holding our lock: a concurrent cancel
+            # of this waiter cannot slip between registration and
+            # dispatch, and pool.submit never re-enters the service.
+            self.pool.submit(exec_request, handle=handle)
+            shared.handle = handle
+            if self.config.coalesce:
+                self._shared[key] = shared
+
+    def _uncacheable_reason(self, request: dict, program) -> str | None:
+        """``None`` when the run is a pure function of its run_key."""
+        if request.get("chaos_seed") is not None:
+            return "chaos injection perturbs the schedule"
+        if request.get("record_schedule"):
+            return "schedule recordings are per-run artifacts"
+        if request.get("metrics"):
+            return "metrics report per-run wall-clock timings"
+        return nondeterminism_reason(program, request["backend"])
+
+    def _finish_shared(self, shared: _SharedRun, result: dict) -> None:
+        """The shared run completed: store (if pure), fan out, unregister.
+
+        Runs on whatever thread finished the pool handle — the router,
+        the watchdog, or a cancel — always outside ``pool._mu``.
+        """
+        with shared.mu:
+            shared.done = True
+            waiters = list(shared.waiters)
+            shared.waiters.clear()
+        with self._mu:
+            if self._shared.get(shared.key) is shared:
+                del self._shared[shared.key]
+            for waiter in waiters:
+                entry = self._runs.get(waiter.id)
+                if entry is not None and entry.handle is waiter:
+                    del self._runs[waiter.id]
+        # Store only completed program-level outcomes: clean runs and
+        # program diagnostics.  Races (exit 3) never reach here cacheable
+        # (racy = nondeterministic); guardrail trips (4), deadlock (5),
+        # cancellations (130), worker crashes and internal errors are
+        # events of *this* execution, not properties of the program.
+        if (shared.cacheable
+                and result.get("phase") in ("run", "compile")
+                and result.get("exit_code") in (0, 1)
+                and result.get("status") in ("ok", "error")):
+            self.result_cache.put(shared.key, result)
+        for waiter in waiters:
+            waiter.finish(dict(result))
 
     def run(self, payload: object, tenant: str = ANONYMOUS,
             timeout: float | None = None) -> dict:
@@ -141,11 +352,48 @@ class ExecutionService:
                        + self.config.watchdog_grace + 30.0)
         result = dict(handle.wait(timeout))
         result["id"] = handle.id
+        if handle.dedup:
+            result["dedup"] = handle.dedup
         return result
 
     def cancel(self, req_id: str,
                reason: str = "cancelled by the client") -> bool:
-        return self.pool.cancel(req_id, reason)
+        """Cancel one admitted request, wherever it is in its life.
+
+        Detaches the waiter from its shared run; the underlying sandbox
+        execution is killed only when this was the *last* waiter.  A
+        request cancelled before dispatch (still compiling, still being
+        placed) is marked so :meth:`_place` never starts it.
+        """
+        kill_id = None
+        with self._mu:
+            entry = self._runs.pop(req_id, None)
+            if entry is not None:
+                self.cancelled_total += 1
+                shared = entry.shared
+                if shared is not None:
+                    with shared.mu:
+                        try:
+                            shared.waiters.remove(entry.handle)
+                        except ValueError:
+                            pass
+                        if (not shared.waiters and not shared.done
+                                and not shared.cancelled):
+                            shared.cancelled = True
+                            kill_id = shared.exec_request["id"]
+                    if (kill_id is not None
+                            and self._shared.get(shared.key) is shared):
+                        del self._shared[shared.key]
+        if entry is None:
+            # Not one of ours (already finished, or a bare pool id from
+            # an older client) — let the pool decide.
+            return self.pool.cancel(req_id, reason)
+        entry.handle.finish(pool_result(
+            "cancelled", EXIT_CANCELLED,
+            f"the run was cancelled — {reason}"))
+        if kill_id is not None:
+            self.pool.cancel(kill_id, reason)
+        return True
 
     # -- introspection -------------------------------------------------
     def check(self, payload: object) -> dict:
@@ -174,16 +422,30 @@ class ExecutionService:
                 "rejected_total": self.rejected_total,
                 "compile_rejects": self.compile_rejects,
             }
+            dedup = {
+                "coalesced": self.coalesced_total,
+                "cancelled": self.cancelled_total,
+                "inflight_shared": len(self._shared),
+            }
         cache = program_cache_info()
         lookups = cache["hits"] + cache["misses"]
         cache["hit_rate"] = (cache["hits"] / lookups) if lookups else 0.0
+        pool_stats = self.pool.stats()
+        result_cache = self.result_cache.stats()
+        dedup["cache_hits"] = result_cache["hits"]
+        dedup["executions"] = pool_stats["submitted"]
+        dedup["result_cache"] = result_cache
         return {
             **totals,
-            "pool": self.pool.stats(),
+            "dedup": dedup,
+            "pool": pool_stats,
             "quotas": self.quotas.stats(),
             "program_cache": cache,
         }
 
     def shutdown(self) -> None:
         self._closed = True
+        # Closing the pool finishes every in-flight exec handle with a
+        # cancelled result, which fans out to the waiters via on_done.
         self.pool.shutdown()
+        self.result_cache.save()

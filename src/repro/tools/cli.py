@@ -381,6 +381,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         default_time_limit=args.default_time_limit,
         max_time_limit=args.max_time_limit,
+        coalesce=not args.no_dedup,
+        result_cache_size=0 if args.no_dedup else args.result_cache_size,
+        result_cache_path=args.result_cache_path,
     )
     return serve(config, verbose=args.verbose)
 
@@ -594,6 +597,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--max-time-limit", type=float, default=30.0,
                          metavar="T",
                          help="ceiling a request may ask for (default: 30)")
+    serve_p.add_argument("--no-dedup", action="store_true",
+                         help="disable request coalescing and the result "
+                              "cache (every request runs its own sandbox)")
+    serve_p.add_argument("--result-cache-size", type=int, default=256,
+                         metavar="N",
+                         help="pure-result cache entries (default: 256, "
+                              "0 = disabled)")
+    serve_p.add_argument("--result-cache-path", default=None, metavar="FILE",
+                         help="persist the result cache to FILE across "
+                              "restarts (default: in-memory only)")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log each HTTP request to stderr")
     serve_p.set_defaults(func=cmd_serve)

@@ -51,9 +51,11 @@ RACY = (
 
 def _cfg(**overrides) -> ServeConfig:
     """A config sized for tests: tiny pool, effectively-off rate limit."""
+    # result_cache_size=0: the legacy suite exercises the live execution
+    # path; dedup behaviour has its own suite (test_serve_dedup.py).
     defaults = dict(port=0, workers=2, rate=10_000.0, burst=10_000,
                     max_concurrent=64, watchdog_grace=2.0,
-                    default_time_limit=10.0)
+                    default_time_limit=10.0, result_cache_size=0)
     defaults.update(overrides)
     return ServeConfig(**defaults)
 
@@ -115,6 +117,51 @@ class TestProtocol:
         with pytest.raises(ServeError):
             validate_request(["not", "a", "dict"], ServeConfig())
 
+    def test_nan_limit_rejected_not_passed_through(self):
+        # Regression: min(NaN, ceiling) returns NaN, which every later
+        # `elapsed > limit` comparison answers False to — a NaN
+        # time_limit used to disable the guardrail entirely.
+        for field in ("time_limit", "memory_limit", "step_limit",
+                      "output_limit"):
+            with pytest.raises(ServeError) as err:
+                validate_request({"source": HELLO, field: float("nan")},
+                                 ServeConfig())
+            assert err.value.status == 400
+            assert field in err.value.message
+
+    def test_infinite_limit_rejected_with_400(self):
+        # Regression: Infinity survived the < 0 check and blew up int()
+        # with an OverflowError (a 500) deep in dispatch.
+        with pytest.raises(ServeError) as err:
+            validate_request({"source": HELLO,
+                              "step_limit": float("inf")}, ServeConfig())
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            validate_request({"source": HELLO,
+                              "time_limit": float("-inf")}, ServeConfig())
+        assert err.value.status == 400
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ServeError) as err:
+            validate_request({"source": HELLO, "memory_limit": -5},
+                             ServeConfig())
+        assert err.value.status == 400
+        assert "non-negative" in err.value.message
+
+    def test_non_numeric_limit_rejected(self):
+        for bad in ("10", True, [], {}):
+            with pytest.raises(ServeError) as err:
+                validate_request({"source": HELLO, "time_limit": bad},
+                                 ServeConfig())
+            assert err.value.status == 400
+            assert "must be a number" in err.value.message
+
+    def test_zero_still_means_server_default(self):
+        cfg = ServeConfig()
+        req = validate_request({"source": HELLO, "time_limit": 0},
+                               cfg)
+        assert req["time_limit"] == cfg.default_time_limit
+
 
 # ----------------------------------------------------------------------
 # Quotas
@@ -153,6 +200,64 @@ class TestQuotas:
         assert "running request" in err.value.message
         q.release("a")
         q.admit("a")
+
+    def test_zero_rate_tenant_refused_cleanly(self):
+        # Regression: rate=0 (the operator's off switch) used to compute
+        # retry_after by dividing by the refill rate.  The burst still
+        # spends, then the refusal is clean with a capped Retry-After.
+        from repro.serve.quotas import RETRY_AFTER_CAP
+
+        now = [0.0]
+        q = TenantQuotas(rate=0.0, burst=2, max_concurrent=99,
+                         clock=lambda: now[0])
+        q.admit("off")
+        q.admit("off")
+        with pytest.raises(ServeError) as err:
+            q.admit("off")
+        assert err.value.status == 429
+        assert err.value.retry_after == RETRY_AFTER_CAP
+        assert "disabled" in err.value.message
+        now[0] += 10_000.0  # no amount of waiting refills a dead bucket
+        with pytest.raises(ServeError):
+            q.admit("off")
+
+    def test_retry_after_is_capped(self):
+        from repro.serve.quotas import RETRY_AFTER_CAP
+
+        q = TenantQuotas(rate=0.001, burst=1, max_concurrent=99,
+                         clock=lambda: 0.0)
+        q.admit("slow")
+        with pytest.raises(ServeError) as err:
+            q.admit("slow")  # honest wait would be ~1000s
+        assert err.value.retry_after == RETRY_AFTER_CAP
+
+    def test_prune_on_full_never_resurrects_a_limited_tenant(self):
+        # Regression: a full-table prune must not evict a bucket with
+        # spent tokens — the tenant would return with a fresh burst.
+        now = [0.0]
+        q = TenantQuotas(rate=0.0, burst=1, max_concurrent=99,
+                         clock=lambda: now[0], max_tenants=1)
+        q.admit("storm")
+        q.release("storm")  # idle but *spent* — must stay pinned
+        q.admit("newcomer")  # table full -> prune sweep runs
+        with pytest.raises(ServeError) as err:
+            q.admit("storm")  # still rate-limited, not resurrected
+        assert err.value.status == 429
+        assert q.stats()["pruned"] == 0
+
+    def test_prune_on_full_evicts_only_fresh_equivalent_buckets(self):
+        now = [0.0]
+        q = TenantQuotas(rate=1.0, burst=1, max_concurrent=99,
+                         clock=lambda: now[0], max_tenants=1)
+        q.admit("idle")
+        q.release("idle")   # tokens=0: pinned for now
+        q.admit("busy")     # prune runs, evicts nothing (idle is spent)
+        assert q.stats()["tenants_tracked"] == 2
+        now[0] += 5.0       # idle's bucket fully refills
+        q.admit("third")    # prune evicts idle (fresh-equivalent) only:
+        stats = q.stats()   # busy has an active run, third is new
+        assert stats["pruned"] == 1
+        assert q.active("busy") == 1  # an active tenant is never pruned
 
 
 # ----------------------------------------------------------------------
