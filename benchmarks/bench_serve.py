@@ -15,8 +15,14 @@ runnable programs, not the number of requests.
 
 Reported per mode: sustained requests/second, p50/p99 end-to-end
 latency, the program-cache hit rate, and (dedup mode) sandbox
-executions vs unique requests plus the coalesced/cache-hit split.  Run
-as a script — ``python benchmarks/bench_serve.py --smoke --json
+executions vs unique requests plus the coalesced/cache-hit split.
+
+A third **overload** scenario drives the service past its pool capacity
+with a bounded queue, a poison program, and seeded serve-layer chaos,
+and records the graceful-degradation counters: requests shed (503 +
+Retry-After) at admission and in the queue, circuit-breaker trips and
+fast-fails, transparent infra retries, and the drain outcome.  Run as a
+script — ``python benchmarks/bench_serve.py --smoke --json
 BENCH_serve_throughput.json`` is the CI invocation; drop ``--smoke``
 for the full measurement.
 """
@@ -149,6 +155,146 @@ def run_load(total: int, clients: int, workers: int,
     }
 
 
+def run_overload(total: int, clients: int, workers: int,
+                 seed: int = 1234) -> dict:
+    """Drive the service past capacity under seeded chaos and report the
+    graceful-degradation counters (in-process: the numbers measure the
+    service, not the HTTP stack)."""
+    from repro.api import clear_program_cache
+    from repro.serve import (
+        ExecutionService,
+        ServeConfig,
+        ServeError,
+        ServeFaultPlan,
+    )
+    from repro.serve.chaos import POISON_MARKER
+
+    clear_program_cache()
+    poison = (f"def main():\n    # {POISON_MARKER}\n"
+              "    x = 0\n    while true:\n        x = x + 1\n")
+    hello = 'def main():\n    print("hello")\n'
+    plan = ServeFaultPlan(seed, kill_pre_dispatch_prob=0.03,
+                          kill_mid_run_prob=0.02, pipe_delay_prob=0.05,
+                          sever_pipe_prob=0.01, drop_client_prob=0.0,
+                          compile_stall_prob=0.05)
+    config = ServeConfig(port=0, workers=workers, rate=100_000.0,
+                         burst=100_000, max_concurrent=1_000,
+                         max_queue=8, coalesce=False,
+                         result_cache_size=0, breaker_threshold=3,
+                         breaker_backoff=600.0, infra_retries=2)
+    service = ExecutionService(config, chaos=plan)
+    statuses: dict[int, int] = {}
+    shed_latencies: list[float] = []
+    poison_submitted = 0
+    mu = threading.Lock()
+
+    def one(i: int):
+        nonlocal poison_submitted
+        if i % 10 == 7:
+            source = poison
+            with mu:
+                poison_submitted += 1
+        elif i % 3 == 0:
+            source = ASSIGNMENT
+        else:
+            source = hello
+        t0 = time.perf_counter()
+        try:
+            result = service.run(
+                {"source": source, "time_limit": 15.0,
+                 "queue_deadline": 10.0},
+                tenant=f"client-{i % 8}", timeout=60.0)
+            status = result.get("http_status") or 200
+            if result.get("status") == "shed":
+                with mu:
+                    shed_latencies.append(time.perf_counter() - t0)
+        except ServeError as err:
+            status = err.status
+            with mu:
+                shed_latencies.append(time.perf_counter() - t0)
+        with mu:
+            statuses[status] = statuses.get(status, 0) + 1
+
+    try:
+        # Prime the breaker out of the measured window: the poison
+        # program crashes its worker `threshold` times serially, so the
+        # burst below meets an *open* breaker and its poison
+        # submissions fail fast instead of each costing a respawn.
+        for _ in range(config.breaker_threshold):
+            service.run({"source": poison, "time_limit": 15.0},
+                        timeout=60.0)
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            list(pool.map(one, range(total)))
+        wall = time.perf_counter() - t0
+        stats = service.stats()
+        # Drain mid-traffic: one straggler gets cancelled at deadline.
+        spin = service.submit(
+            {"source": "def main():\n    x = 0\n"
+                       "    while true:\n        x = x + 1\n",
+             "time_limit": 30.0})
+        drain_t0 = time.perf_counter()
+        drained = service.begin_drain(grace=1.0)
+        clean = drained.wait(30.0)
+        drain_wall = time.perf_counter() - drain_t0
+        spin.wait(5.0)
+    finally:
+        service.shutdown()
+
+    overload = stats["overload"]
+    return {
+        "requests": total,
+        "clients": clients,
+        "pool_workers": workers,
+        "chaos_seed": seed,
+        "wall_seconds": round(wall, 4),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "shed": {
+            "at_admission": overload["admission"]["shed_queue_full"]
+            + overload["admission"]["shed_deadline"],
+            "in_queue": overload["shed_expired"],
+            "median_ms": round(
+                statistics.median(shed_latencies) * 1000, 2)
+            if shed_latencies else None,
+        },
+        "breaker": {
+            "trips": overload["breaker"]["trips"],
+            "fast_fails": overload["breaker"]["fast_fails"],
+            "poison_submissions": poison_submitted,
+            "poison_executions": stats.get("chaos", {}).get(
+                "counts", {}).get("poison_kill", 0),
+        },
+        "infra_retried": overload["infra_retried"],
+        "chaos_counts": stats.get("chaos", {}).get("counts", {}),
+        "drain": {
+            "clean": bool(clean),
+            "wall_seconds": round(drain_wall, 4),
+            "cancelled": service.drain_cancelled,
+        },
+    }
+
+
+def _print_overload(result: dict) -> None:
+    shed = result["shed"]
+    breaker = result["breaker"]
+    print("  [overload]")
+    print(f"    statuses:   {result['statuses']}")
+    med = shed["median_ms"]
+    print(f"    shed:       {shed['at_admission']} at admission, "
+          f"{shed['in_queue']} in queue"
+          + (f", median {med:.1f} ms" if med is not None else ""))
+    print(f"    breaker:    {breaker['trips']} trips, "
+          f"{breaker['fast_fails']} fast-fails — poison ran "
+          f"{breaker['poison_executions']}x for "
+          f"{breaker['poison_submissions']} submissions")
+    print(f"    retries:    {result['infra_retried']} transparent "
+          f"infra redispatches")
+    drain = result["drain"]
+    print(f"    drain:      clean={drain['clean']} in "
+          f"{drain['wall_seconds']:.2f}s "
+          f"({drain['cancelled']} cancelled at deadline)")
+
+
 def _print_mode(label: str, result: dict) -> None:
     lat = result["latency_ms"]
     print(f"  [{label}]")
@@ -198,6 +344,8 @@ def main(argv=None):
         if baseline["requests_per_second"] else 0.0
     print(f"  dedup speedup: {speedup:.2f}x req/s on the "
           f"duplicate-heavy mix")
+    overload = run_overload(total, max(args.clients, 12), args.workers)
+    _print_overload(overload)
 
     if args.json:
         payload = {
@@ -213,6 +361,7 @@ def main(argv=None):
             "no_dedup": baseline,
             "dedup": deduped,
             "dedup_speedup": round(speedup, 2),
+            "overload": overload,
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

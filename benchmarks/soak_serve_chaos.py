@@ -1,0 +1,274 @@
+"""Chaos soak for ``tetra serve``: the CI gate for overload resilience.
+
+Boots a **real server subprocess** with a fixed ``--chaos-serve`` seed
+(worker kills, pipe faults, compile stalls — the full serve-layer fault
+plan), hammers it over HTTP with a classroom-shaped burst that includes
+a deterministic poison program, then SIGTERMs it mid-traffic and
+verifies the graceful drain.  Asserts the standing invariants:
+
+* every request is answered — no hung client, no wedged server thread
+  (the process must also *exit* within the drain deadline);
+* only expected statuses appear: 2xx, 422 (compile reject), 408
+  (guardrail), 499 (cancelled), 503 (shed / quarantined / draining),
+  and 500 **only** in the worker-loss shape (``cause`` crash/infra),
+  never an unexplained internal error;
+* shed responses are fast and carry ``Retry-After``;
+* no quota slot leaks (``active_runs == 0`` once the burst settles);
+* the poison program's sandbox executions are capped by the circuit
+  breaker at ≪ its submission count;
+* SIGTERM exits **0** with the result-cache file intact (valid JSON).
+
+Writes a JSON report (``--json``, default ``soak_serve_chaos.json``)
+that CI uploads as an artifact.  Exit status 0 = all invariants held.
+"""
+
+import json
+import os
+import signal
+import socket
+import statistics
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+REPO = os.path.join(os.path.dirname(__file__), "..")
+POISON_MARKER = "chaos:poison"
+
+HELLO = 'def main():\n    print("hello")\n'
+COUNT = "def main():\n    for i in [0 ... 3]:\n        print(i)\n"
+POISON = (f"def main():\n    # {POISON_MARKER}\n"
+          "    x = 0\n    while true:\n        x = x + 1\n")
+SPIN = "def main():\n    x = 0\n    while true:\n        x = x + 1\n"
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _post(base: str, path: str, payload: dict, tenant: str,
+          timeout: float = 60.0):
+    req = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json",
+                 "X-Tetra-Tenant": tenant})
+    t0 = time.perf_counter()
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return (time.perf_counter() - t0, resp.status,
+                    json.loads(resp.read()), dict(resp.headers))
+    except urllib.error.HTTPError as err:
+        return (time.perf_counter() - t0, err.code,
+                json.loads(err.read()), dict(err.headers))
+
+
+def _get_json(base: str, path: str, timeout: float = 30.0):
+    try:
+        with urllib.request.urlopen(base + path, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="chaos soak against a real tetra serve subprocess")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--requests", type=int, default=240,
+                        help="burst size before the drain (default 240)")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--json", default="soak_serve_chaos.json",
+                        metavar="FILE")
+    args = parser.parse_args(argv)
+
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    cache_path = f"soak_cache_{port}.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.cli", "serve",
+         "--port", str(port), "--workers", "2",
+         "--chaos-serve", str(args.seed),
+         "--max-queue", "8", "--breaker-threshold", "3",
+         "--breaker-backoff", "600", "--infra-retries", "2",
+         "--drain-grace", "5",
+         # The soak measures the serve-layer overload machinery; park
+         # the per-tenant token bucket out of the way so 429s don't
+         # mask shed/breaker behaviour (quotas have their own tests).
+         "--rate", "100000", "--burst", "100000",
+         "--max-concurrent", "1000",
+         "--result-cache-path", cache_path],
+        env=env, cwd=REPO)
+    failures: list[str] = []
+
+    def check(ok: bool, what: str):
+        status = "ok" if ok else "FAIL"
+        print(f"  [{status}] {what}")
+        if not ok:
+            failures.append(what)
+
+    try:
+        for _ in range(100):
+            try:
+                status, _body = _get_json(base, "/healthz", timeout=2.0)
+                if status == 200:
+                    break
+            except OSError:
+                time.sleep(0.2)
+        else:
+            raise RuntimeError("server never became healthy")
+
+        mu = threading.Lock()
+        answered = []
+        shed_latencies = []
+        bad_500 = []
+        poison_submitted = 0
+
+        def one(i: int):
+            nonlocal poison_submitted
+            if i % 10 == 7:
+                source, limit = POISON, 15.0
+                with mu:
+                    poison_submitted += 1
+            elif i % 3 == 0:
+                source, limit = COUNT, 10.0
+            else:
+                source, limit = HELLO, 10.0
+            try:
+                elapsed, status, body, headers = _post(
+                    base, "/api/run",
+                    {"source": source, "time_limit": limit,
+                     "queue_deadline": 30.0},
+                    tenant=f"t{i % 5}")
+            except OSError:
+                with mu:
+                    answered.append(("conn-error", i))
+                return
+            with mu:
+                answered.append((status, i))
+                if status == 503:
+                    shed_latencies.append(elapsed)
+                    if "Retry-After" not in headers:
+                        bad_500.append(f"503 without Retry-After: {body}")
+                if status == 500 and body.get("cause") not in (
+                        "crash", "infra") \
+                        and "died mid-run" not in str(body.get("error")):
+                    bad_500.append(str(body)[:200])
+
+        print(f"soak: {args.requests} requests, {args.clients} clients, "
+              f"chaos seed {args.seed}")
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=args.clients) as pool:
+            list(pool.map(one, range(args.requests)))
+        burst_wall = time.perf_counter() - t0
+
+        check(len(answered) == args.requests,
+              f"every request answered ({len(answered)}"
+              f"/{args.requests}, {burst_wall:.1f}s)")
+        statuses = {}
+        for status, _ in answered:
+            statuses[str(status)] = statuses.get(str(status), 0) + 1
+        allowed = {"200", "408", "409", "422", "499", "500", "503"}
+        check(set(statuses) <= allowed,
+              f"only expected statuses: {statuses}")
+        check(not bad_500,
+              f"every 500 is the worker-loss shape ({bad_500[:3]})")
+        if shed_latencies:
+            med = statistics.median(shed_latencies) * 1000
+            check(med < 250.0,
+                  f"shed answers are fast (median {med:.1f} ms over "
+                  f"{len(shed_latencies)} sheds)")
+
+        # Let in-flight accounting settle, then read the stats.
+        deadline = time.time() + 10.0
+        stats = {}
+        while time.time() < deadline:
+            _status, stats = _get_json(base, "/api/stats")
+            if stats["quotas"]["active_runs"] == 0:
+                break
+            time.sleep(0.2)
+        check(stats["quotas"]["active_runs"] == 0,
+              f"no leaked quota slots "
+              f"(active_runs={stats['quotas']['active_runs']})")
+        kills = stats.get("chaos", {}).get("counts", {}).get(
+            "poison_kill", 0)
+        check(1 <= kills <= 10 and kills < poison_submitted / 2,
+              f"breaker capped the poison program ({kills} executions "
+              f"for {poison_submitted} submissions)")
+        check(stats["overload"]["breaker"]["trips"] >= 1,
+              f"breaker tripped "
+              f"({stats['overload']['breaker']['trips']} trips, "
+              f"{stats['overload']['breaker']['fast_fails']} fast-fails)")
+
+        # Drain mid-soak: a straggler run in flight, then SIGTERM.
+        straggler = threading.Thread(
+            target=lambda: _post(base, "/api/run",
+                                 {"source": SPIN, "time_limit": 30.0},
+                                 tenant="straggler"),
+            daemon=True)
+        straggler.start()
+        time.sleep(0.5)
+        server.send_signal(signal.SIGTERM)
+        try:
+            code = server.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            code = None
+        check(code == 0, f"SIGTERM drain exited 0 (got {code})")
+        straggler.join(timeout=10.0)
+        check(not straggler.is_alive(),
+              "in-flight client released by the drain")
+        cache_ok = False
+        try:
+            with open(os.path.join(REPO, cache_path),
+                      encoding="utf-8") as fh:
+                cache_ok = isinstance(json.load(fh), list)
+        except (OSError, ValueError):
+            pass
+        check(cache_ok, "result cache persisted intact on drain")
+
+        report = {
+            "soak": "serve_chaos",
+            "seed": args.seed,
+            "requests": args.requests,
+            "clients": args.clients,
+            "burst_wall_seconds": round(burst_wall, 2),
+            "statuses": statuses,
+            "shed_median_ms": round(
+                statistics.median(shed_latencies) * 1000, 2)
+            if shed_latencies else None,
+            "poison": {"submitted": poison_submitted,
+                       "executed": kills},
+            "overload": stats.get("overload"),
+            "chaos": stats.get("chaos"),
+            "drain_exit_code": code,
+            "failures": failures,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+        if failures:
+            print(f"SOAK FAILED: {len(failures)} invariant(s) broken")
+            return 1
+        print("soak passed: all invariants held")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10.0)
+        try:
+            os.unlink(os.path.join(REPO, cache_path))
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,17 +11,24 @@ Layering (each file one concern):
     protocol.py   request validation, limit clamping, run_key identity,
                   exit→HTTP mapping
     quotas.py     per-tenant token-bucket rate + concurrency quotas
-    pool.py       the sandbox worker pool (fork, stream, cancel, watchdog)
-    cache.py      the bounded LRU of pure run results (optional JSON
-                  persistence)
-    service.py    ExecutionService — validate → admit → compile →
-                  dedup (cache / coalesce) → run
+    overload.py   admission control (shed-with-Retry-After) and the
+                  poison-program circuit breaker
+    pool.py       the sandbox worker pool (fork, stream, cancel, watchdog,
+                  infra retries, queue-deadline shedding)
+    cache.py      the bounded LRU of pure run results (optional crash-
+                  atomic JSON persistence)
+    chaos.py      seeded serve-layer fault injection (``--chaos-serve``)
+    service.py    ExecutionService — validate → breaker → admit →
+                  compile → dedup (cache / coalesce) → run; graceful
+                  drain
     ws.py         minimal RFC 6455 framing (server and test-client side)
     http.py       the ThreadingHTTPServer transport and ``serve()`` loop
 """
 
 from .cache import ResultCache
+from .chaos import ServeFaultPlan
 from .http import TetraServeHandler, TetraServer, serve
+from .overload import AdmissionController, CircuitBreaker
 from .pool import RunHandle, RunnerPool
 from .protocol import (
     EXIT_HTTP_STATUS,
@@ -36,6 +43,8 @@ from .service import ANONYMOUS, ExecutionService
 
 __all__ = [
     "ANONYMOUS",
+    "AdmissionController",
+    "CircuitBreaker",
     "EXIT_HTTP_STATUS",
     "ExecutionService",
     "ResultCache",
@@ -43,6 +52,7 @@ __all__ = [
     "RunnerPool",
     "ServeConfig",
     "ServeError",
+    "ServeFaultPlan",
     "TenantQuotas",
     "TetraServeHandler",
     "TetraServer",

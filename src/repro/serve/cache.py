@@ -15,6 +15,12 @@ frozen.
 Persistence is best-effort JSON: load errors at boot and save errors at
 shutdown are swallowed (a cold cache is always correct), and the file
 format is simply ``[[key, result], ...]`` in LRU order, oldest first.
+Saves are **crash-atomic**: the snapshot is written to a private temp
+file (unique per process), fsync'd, then renamed over the target — a
+process killed mid-save leaves the previous cache file byte-identical,
+never a truncated one.  Drain and shutdown both save, and concurrent
+saves serialize, so a drain racing a final shutdown cannot interleave
+two writers on one temp file.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ class ResultCache:
         self.capacity = int(capacity)
         self.path = path
         self._mu = threading.Lock()
+        self._save_mu = threading.Lock()
         self._entries: OrderedDict[tuple, dict] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -105,19 +112,24 @@ class ResultCache:
             self._entries.clear()
 
     def save(self) -> None:
-        """Write the cache to ``path`` (atomic rename), LRU order kept."""
+        """Persist the cache to ``path``, LRU order kept — crash-atomic:
+        temp write + fsync + rename, so a kill at any instant leaves
+        either the old file or the new one, never a truncation."""
         if not self.path:
             return
-        with self._mu:
-            pairs = [[list(key), result]
-                     for key, result in self._entries.items()]
-        tmp = f"{self.path}.tmp"
-        try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(pairs, fh)
-            os.replace(tmp, self.path)
-        except OSError:
+        with self._save_mu:
+            with self._mu:
+                pairs = [[list(key), result]
+                         for key, result in self._entries.items()]
+            tmp = f"{self.path}.tmp.{os.getpid()}"
             try:
-                os.unlink(tmp)
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(pairs, fh)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
             except OSError:
-                pass
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass

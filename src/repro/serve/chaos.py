@@ -1,0 +1,135 @@
+"""Seeded fault injection for the serve layer (``--chaos-serve SEED``).
+
+The runtime's chaos harness (:mod:`repro.resilience.faults`) perturbs
+*one program's* schedule; this plan perturbs the *service around* the
+programs — the faults a hosted deployment actually meets:
+
+* **kill a worker pre-dispatch** — the sandbox process dies between
+  being handed a request and starting user code (a spawn failure or
+  recycle race).  Must surface as a transparent infra retry, never a
+  user-facing error.
+* **kill a worker mid-run** — indistinguishable from a crashing or
+  OOM-killed student program; exercises crash recovery and feeds the
+  circuit breaker exactly like real poison would.
+* **delay or sever a worker pipe** — a slow or broken duplex channel at
+  dispatch time.
+* **drop a client connection** mid-stream — the vanished-browser case;
+  the server must detect it and release the run's quota slot.
+* **stall the compile single-flight** — widens the cancel-before-
+  dispatch race window the service must tolerate.
+
+Every fault site draws from its own :class:`random.Random` stream seeded
+as ``tetra-serve-chaos:<site>:<seed>``, so one seed is one reproducible
+fault plan per site regardless of how other sites interleave (the same
+per-stream idiom as ``FaultPlan``).  Fired faults are counted and
+reported in ``/api/stats`` under ``chaos``.
+
+**Poison marker**: when chaos is armed, any program whose source carries
+the literal ``chaos:poison`` (a comment in Tetra) has its worker killed
+the moment user code starts — a *deterministic* poison pill, so soak
+tests can drive the circuit breaker without relying on a real OOM.  The
+kill happens after the worker's start-ack, so it is attributed to the
+program (breaker-counted), exactly like a genuine crash.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+#: Source substring that marks a program as a deterministic poison pill
+#: (only honoured while a ServeFaultPlan is armed).
+POISON_MARKER = "chaos:poison"
+
+
+class ServeFaultPlan:
+    """One seeded serve-layer fault schedule."""
+
+    def __init__(self, seed: int, *,
+                 kill_pre_dispatch_prob: float = 0.04,
+                 kill_mid_run_prob: float = 0.04,
+                 pipe_delay_prob: float = 0.05,
+                 max_pipe_delay_ms: float = 10.0,
+                 sever_pipe_prob: float = 0.02,
+                 drop_client_prob: float = 0.06,
+                 compile_stall_prob: float = 0.05,
+                 max_compile_stall_ms: float = 10.0):
+        self.seed = int(seed)
+        self.kill_pre_dispatch_prob = float(kill_pre_dispatch_prob)
+        self.kill_mid_run_prob = float(kill_mid_run_prob)
+        self.pipe_delay_prob = float(pipe_delay_prob)
+        self.max_pipe_delay_ms = float(max_pipe_delay_ms)
+        self.sever_pipe_prob = float(sever_pipe_prob)
+        self.drop_client_prob = float(drop_client_prob)
+        self.compile_stall_prob = float(compile_stall_prob)
+        self.max_compile_stall_ms = float(max_compile_stall_ms)
+        self._mu = threading.Lock()
+        self._rngs: dict[str, random.Random] = {}
+        self.counts: dict[str, int] = {}
+
+    def _draw(self, site: str) -> float:
+        """One uniform draw from ``site``'s private stream (locked —
+        pool and transport threads fire faults concurrently)."""
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = self._rngs[site] = random.Random(
+                f"tetra-serve-chaos:{site}:{self.seed}")
+        return rng.random()
+
+    def _fire(self, site: str, prob: float) -> bool:
+        with self._mu:
+            hit = prob > 0.0 and self._draw(site) < prob
+            if hit:
+                self.counts[site] = self.counts.get(site, 0) + 1
+        return hit
+
+    # -- fault sites ---------------------------------------------------
+    def kill_pre_dispatch(self) -> bool:
+        """Kill the chosen worker before the request is sent to it."""
+        return self._fire("kill_pre_dispatch", self.kill_pre_dispatch_prob)
+
+    def kill_mid_run(self) -> bool:
+        """Kill the worker the moment user code starts (≙ crash/OOM)."""
+        return self._fire("kill_mid_run", self.kill_mid_run_prob)
+
+    def sever_pipe(self) -> bool:
+        """Close the parent's end of the worker pipe at dispatch."""
+        return self._fire("sever_pipe", self.sever_pipe_prob)
+
+    def drop_client(self) -> bool:
+        """Abort the client connection mid-stream (vanished browser)."""
+        return self._fire("drop_client", self.drop_client_prob)
+
+    def pipe_delay(self) -> float:
+        """Seconds to stall the dispatch pipe (0.0 = no fault)."""
+        with self._mu:
+            if self.pipe_delay_prob <= 0.0 \
+                    or self._draw("pipe_delay") >= self.pipe_delay_prob:
+                return 0.0
+            self.counts["pipe_delay"] = self.counts.get("pipe_delay", 0) + 1
+            return self._draw("pipe_delay") * self.max_pipe_delay_ms / 1e3
+
+    def compile_stall(self) -> float:
+        """Seconds to stall before entering the compile single-flight."""
+        with self._mu:
+            if self.compile_stall_prob <= 0.0 \
+                    or self._draw("compile_stall") >= self.compile_stall_prob:
+                return 0.0
+            self.counts["compile_stall"] = \
+                self.counts.get("compile_stall", 0) + 1
+            return (self._draw("compile_stall")
+                    * self.max_compile_stall_ms / 1e3)
+
+    # -- the deterministic poison pill ---------------------------------
+    @staticmethod
+    def is_poison(source: str) -> bool:
+        return POISON_MARKER in source
+
+    def count_poison_kill(self) -> None:
+        with self._mu:
+            self.counts["poison_kill"] = self.counts.get("poison_kill", 0) + 1
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        with self._mu:
+            return {"seed": self.seed, "counts": dict(self.counts)}

@@ -2,21 +2,30 @@
 
 Endpoints (tenant = the ``X-Tetra-Tenant`` header, else ``anonymous``):
 
-    GET  /healthz        liveness probe
-    GET  /api/stats      pool / quota / dedup / program-cache statistics
+    GET  /healthz        liveness probe (503 + {"draining": true} while
+                         a graceful drain is in progress)
+    GET  /api/stats      pool / quota / dedup / overload / program-cache
+                         statistics
     POST /api/check      static diagnostics only (no sandbox)
     POST /api/run        run to completion, JSON result
     POST /api/stream     run with live output as NDJSON lines
     POST /api/cancel     {"id": ...} — cancel a pending or running request
+    POST /api/drain      begin a graceful drain (stop admissions, finish
+                         in-flight runs, persist the cache, exit)
     GET  /api/ws         WebSocket: send one run request, receive streamed
                          {"type": "start"|"out"|"done"} messages; send
                          {"type": "cancel"} any time
 
 ``/api/run``'s HTTP status is the documented exit-code mapping
-(:data:`repro.serve.protocol.EXIT_HTTP_STATUS`); the body always carries
-the full result, including ``exit_code``, so clients never parse status
-text.  Streaming responses are always ``200`` — the verdict travels in
-the final ``done`` event instead.
+(:data:`repro.serve.protocol.EXIT_HTTP_STATUS`), unless the result
+carries an explicit ``http_status`` override — conditions the uniform
+exit codes cannot express (a 503 shed with ``Retry-After``, a 500
+worker loss).  The body always carries the full result, including
+``exit_code``, so clients never parse status text.  Streaming responses
+are always ``200`` — the verdict travels in the final ``done`` event
+instead.  A streaming client that vanishes — even while its run is
+still *queued*, before any worker picked it up — is detected within a
+poll tick and its request cancelled, releasing the quota slot.
 
 Built on :class:`http.server.ThreadingHTTPServer`: one OS thread per
 connection is plenty for a classroom-sized front door, and the actual
@@ -29,7 +38,9 @@ from __future__ import annotations
 import json
 import queue as queue_mod
 import select
+import socket
 import sys
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .. import __version__
@@ -98,8 +109,13 @@ class TetraServeHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         try:
             if self.path == "/healthz":
-                self._send_json(200, {"ok": True,
-                                      "version": __version__})
+                if self.service.draining:
+                    self._send_json(503, {"ok": False, "draining": True,
+                                          "version": __version__},
+                                    retry_after=30.0)
+                else:
+                    self._send_json(200, {"ok": True,
+                                          "version": __version__})
             elif self.path == "/api/stats":
                 self._send_json(200, self.service.stats())
             elif self.path == "/api/ws":
@@ -121,6 +137,8 @@ class TetraServeHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.check(self._read_json()))
             elif self.path == "/api/cancel":
                 self._cancel()
+            elif self.path == "/api/drain":
+                self._drain()
             else:
                 self._send_json(404, {"error": f"no route {self.path}"})
         except ServeError as exc:
@@ -131,7 +149,17 @@ class TetraServeHandler(BaseHTTPRequestHandler):
     # -- endpoints -----------------------------------------------------
     def _run(self) -> None:
         result = self.service.run(self._read_json(), self._tenant())
-        self._send_json(http_status_for_exit(result["exit_code"]), result)
+        status = result.get("http_status") \
+            or http_status_for_exit(result["exit_code"])
+        self._send_json(status, result,
+                        retry_after=result.get("retry_after"))
+
+    def _drain(self) -> None:
+        self.service.begin_drain()
+        server = self.server
+        if hasattr(server, "begin_drain"):
+            server.begin_drain()
+        self._send_json(202, {"draining": True})
 
     def _cancel(self) -> None:
         payload = self._read_json()
@@ -142,8 +170,21 @@ class TetraServeHandler(BaseHTTPRequestHandler):
         self._send_json(200 if ok else 404,
                         {"cancelled": ok, "id": payload["id"]})
 
+    def _client_vanished(self) -> bool:
+        """True when the client closed its side of the connection.  A
+        well-behaved streaming client sends nothing after its request,
+        so a *readable* socket that peeks EOF means it hung up."""
+        try:
+            readable, _, _ = select.select([self.connection], [], [], 0)
+            if not readable:
+                return False
+            return self.connection.recv(1, socket.MSG_PEEK) == b""
+        except (OSError, ValueError):
+            return True
+
     def _stream(self) -> None:
         handle = self.service.submit(self._read_json(), self._tenant())
+        chaos = self.service.chaos
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Cache-Control", "no-store")
@@ -161,17 +202,32 @@ class TetraServeHandler(BaseHTTPRequestHandler):
         try:
             emit(start)
             while True:
-                kind, payload = handle.events.get()
+                try:
+                    kind, payload = handle.events.get(timeout=0.25)
+                except queue_mod.Empty:
+                    # No event yet (possibly still *queued*, pre-
+                    # dispatch): poll for a vanished client so a hung-up
+                    # stream never holds its quota slot to the deadline.
+                    if self._client_vanished():
+                        raise BrokenPipeError from None
+                    continue
                 if kind == "out":
+                    if chaos is not None and chaos.drop_client():
+                        # Simulate the browser vanishing mid-stream.
+                        try:
+                            self.connection.shutdown(socket.SHUT_RDWR)
+                        except OSError:
+                            pass
+                        raise BrokenPipeError
                     emit({"type": "out", "text": payload})
                 else:
                     payload = dict(payload)
                     payload["id"] = handle.id
-                    payload["http_status"] = http_status_for_exit(
-                        payload["exit_code"])
+                    payload["http_status"] = payload.get("http_status") \
+                        or http_status_for_exit(payload["exit_code"])
                     emit({"type": "done", **payload})
                     return
-        except (BrokenPipeError, ConnectionResetError):
+        except (BrokenPipeError, ConnectionResetError, OSError):
             # The client hung up mid-stream: free its sandbox slot.
             self.service.cancel(handle.id, "client disconnected")
 
@@ -253,8 +309,8 @@ class TetraServeHandler(BaseHTTPRequestHandler):
             else:
                 payload = dict(payload)
                 payload["id"] = handle.id
-                payload["http_status"] = http_status_for_exit(
-                    payload["exit_code"])
+                payload["http_status"] = payload.get("http_status") \
+                    or http_status_for_exit(payload["exit_code"])
                 send({"type": "done", **payload})
                 self.connection.sendall(
                     ws_mod.encode_frame(b"", ws_mod.OP_CLOSE))
@@ -272,11 +328,37 @@ class TetraServer(ThreadingHTTPServer):
         super().__init__(address, TetraServeHandler)
         self.service = service
         self.verbose = verbose
+        self._drain_watcher: threading.Thread | None = None
+
+    def begin_drain(self) -> None:
+        """Stop the accept loop once the service's drain completes.
+
+        The listener stays up through the drain so ``/healthz`` keeps
+        answering 503-draining (load balancers need it) and in-flight
+        streams finish; idempotent.
+        """
+        if self._drain_watcher is not None:
+            return
+        self.service.begin_drain()
+
+        def _watch():
+            self.service.drained.wait()
+            self.shutdown()
+
+        self._drain_watcher = threading.Thread(
+            target=_watch, name="tetra-serve-drain-watch", daemon=True)
+        self._drain_watcher.start()
 
 
 def serve(config=None, verbose: bool = False,
           ready=None) -> int:  # pragma: no cover - CLI loop (tests
     """Run the service until SIGINT.      drive TetraServer directly)
+
+    SIGINT stops immediately (the operator's Ctrl-C); SIGTERM (what
+    ``kill`` and process supervisors send) triggers a **graceful
+    drain**: admissions stop, ``/healthz`` turns 503-draining, in-flight
+    runs finish up to ``config.drain_grace`` seconds, the result cache
+    is persisted, and the process exits 0.
 
     ``ready`` is an optional callback receiving the bound (host, port) —
     the CI smoke test uses it to learn an ephemeral port.
@@ -295,18 +377,28 @@ def serve(config=None, verbose: bool = False,
     def _interrupt(signum, frame):
         raise KeyboardInterrupt
 
+    def _drain(signum, frame):
+        print("tetra serve: draining (SIGTERM) — finishing in-flight "
+              f"runs, up to {config.drain_grace:g}s", file=sys.stderr)
+        server.begin_drain()
+
     # A server launched from a script often arrives with SIGINT *ignored*
     # (`cmd &` in a non-interactive shell), which Python inherits — a
     # plain `kill -INT` would then be a silent no-op and the process
-    # would outlive its operator.  Re-arm it, and give SIGTERM (what
-    # `kill` and process supervisors send) the same graceful path.
+    # would outlive its operator.  Re-arm it; SIGTERM gets the graceful
+    # drain instead of an abrupt stop.
     signal.signal(signal.SIGINT, _interrupt)
-    signal.signal(signal.SIGTERM, _interrupt)
+    signal.signal(signal.SIGTERM, _drain)
     print(f"tetra serve: listening on http://{host}:{port} "
           f"({config.workers} sandbox workers, "
           f"{config.rate:g} req/s per tenant)", file=sys.stderr)
+    if service.chaos is not None:
+        print(f"tetra serve: CHAOS armed "
+              f"(seed {service.chaos.seed}) — do not use in production",
+              file=sys.stderr)
     try:
         server.serve_forever(poll_interval=0.2)
+        print("tetra serve: drained, exiting", file=sys.stderr)
     except KeyboardInterrupt:
         print("\ntetra serve: shutting down", file=sys.stderr)
     finally:

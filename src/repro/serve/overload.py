@@ -1,0 +1,295 @@
+"""Overload policy for ``tetra serve``: admission control and the
+poison-program circuit breaker.
+
+The service refuses work in three escalating ways, each costing the
+refused tenant nothing (no quota slot, no rate token, no sandbox):
+
+* **Load shedding** (:class:`AdmissionController`) — every request
+  carries a *queue deadline* (how long it is willing to wait for a
+  worker; clamped like every other limit).  At submit time the
+  controller looks at the live pool occupancy — busy workers, queued
+  requests, and an EWMA of recent run durations — and computes the wait
+  a new arrival would face.  A full queue, or an estimated wait already
+  past the request's deadline, is shed **immediately** with 503 and a
+  ``Retry-After`` derived from that same occupancy estimate: the client
+  learns in milliseconds what it would otherwise learn by timing out.
+  Requests that queue anyway are swept by the pool: once a queued
+  request's deadline passes it is shed with the same 503 shape, so an
+  optimistic estimate never turns into an unbounded wait.
+
+* **Circuit breaking** (:class:`CircuitBreaker`) — a program that keeps
+  *killing its sandbox worker* (a real crash or OOM, or a wedge the
+  parent watchdog had to end) is a poison pill: every resubmission costs
+  a worker respawn and a pool hiccup.  The breaker tracks outcomes per
+  program sha.  ``threshold`` consecutive worker-deaths **open** the
+  breaker: further submissions fail fast with a named diagnostic and
+  ``Retry-After``, for an exponentially growing quarantine
+  (``backoff * 2^(trips-1)``, capped).  When the quarantine lapses the
+  breaker goes **half-open**: exactly one probe execution is admitted —
+  success closes the breaker and forgets the program entirely, another
+  worker-death re-opens it with the next backoff step.  Only
+  *worker-killing* outcomes count: a program that merely raises, trips
+  an in-worker guardrail, or loses a race is handled cleanly and never
+  quarantined.  Infra-caused deaths (a worker lost *before* user code
+  started) are retried by the pool and never blamed on the program.
+
+* The quota layer (:mod:`repro.serve.quotas`) stays in charge of
+  per-tenant fairness; this module is about protecting the *service*.
+
+Both tables are bounded: the breaker only holds programs with recorded
+failures (a success deletes the entry), and overflow evicts the oldest
+closed entry first — an open breaker is never evicted, because evicting
+it would un-quarantine the poison program.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..stdlib.builtin_time import monotonic_clock
+from .protocol import ServeError
+from .quotas import RETRY_AFTER_CAP
+
+#: Seed for the run-duration EWMA before any run has finished — a small
+#: classroom program, so an empty server never over-estimates the wait.
+INITIAL_AVG_RUN_S = 0.05
+
+#: Breaker table size that triggers an eviction sweep (closed entries
+#: first; open entries are pinned — evicting one would un-quarantine
+#: the very program the breaker exists for).
+DEFAULT_MAX_PROGRAMS = 1024
+
+
+class AdmissionController:
+    """Shed-or-admit decisions from a live pool-occupancy snapshot."""
+
+    def __init__(self, max_queue: int = 32, clock=monotonic_clock):
+        self.max_queue = int(max_queue)
+        self._clock = clock
+        self._mu = threading.Lock()
+        self.shed_queue_full = 0
+        self.shed_deadline = 0
+
+    @staticmethod
+    def estimated_wait(occupancy: dict) -> float:
+        """Seconds a new arrival would wait for a worker, from the pool's
+        own snapshot: everyone ahead of it (queued + running) divided by
+        the service rate the pool is actually sustaining."""
+        workers = max(int(occupancy.get("workers", 1)), 1)
+        ahead = (int(occupancy.get("pending", 0))
+                 + int(occupancy.get("busy", 0)))
+        avg = max(float(occupancy.get("avg_run_seconds",
+                                      INITIAL_AVG_RUN_S)), 1e-3)
+        return ahead * avg / workers
+
+    def check(self, occupancy: dict, queue_deadline: float) -> None:
+        """Admit or raise ``ServeError(503)`` — **before** any quota or
+        sandbox cost.  ``Retry-After`` is the occupancy estimate itself:
+        the honest answer to "when would a slot actually free up?"."""
+        pending = int(occupancy.get("pending", 0))
+        if pending == 0 and int(occupancy.get("idle", 0)) > 0:
+            return  # a worker is free right now
+        wait = self.estimated_wait(occupancy)
+        retry = min(max(wait, 1.0), RETRY_AFTER_CAP)
+        if pending >= self.max_queue:
+            with self._mu:
+                self.shed_queue_full += 1
+            raise ServeError(
+                503,
+                f"shed: the run queue is full ({pending} queued, "
+                f"{occupancy.get('busy', 0)} running on "
+                f"{occupancy.get('workers', 0)} workers) — retry in "
+                f"{retry:.0f}s",
+                retry_after=retry,
+            )
+        if wait > queue_deadline:
+            with self._mu:
+                self.shed_deadline += 1
+            raise ServeError(
+                503,
+                f"shed: estimated queue wait {wait:.1f}s exceeds this "
+                f"request's queue deadline ({queue_deadline:g}s) — "
+                f"retry in {retry:.0f}s",
+                retry_after=retry,
+            )
+
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "max_queue": self.max_queue,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_deadline": self.shed_deadline,
+            }
+
+
+class _Program:
+    """Breaker state for one program sha (exists only while failing)."""
+
+    __slots__ = ("failures", "trips", "state", "open_until", "probing",
+                 "last_cause")
+
+    def __init__(self):
+        self.failures = 0       #: worker-deaths since the last success
+        self.trips = 0          #: times the breaker opened (backoff step)
+        self.state = "closed"   #: "closed" | "open" | "half-open"
+        self.open_until = 0.0
+        self.probing = False    #: a half-open probe is in flight
+        self.last_cause = "crashed its sandbox worker"
+
+
+class CircuitBreaker:
+    """Per-program-sha quarantine for programs that kill workers.
+
+    Thread-safe; ``clock`` is injectable for deterministic tests.  The
+    caller contract: every successful :meth:`admit` for a program in the
+    half-open state *claims the probe* and must eventually be settled by
+    exactly one of :meth:`record_success`, :meth:`record_failure`, or
+    :meth:`release` (when the request dies before producing an execution
+    verdict — refused by quota, compile-rejected, answered from cache,
+    or cancelled).
+    """
+
+    def __init__(self, threshold: int = 3, backoff: float = 30.0,
+                 backoff_cap: float = 600.0, clock=monotonic_clock,
+                 max_programs: int = DEFAULT_MAX_PROGRAMS):
+        self.threshold = max(1, int(threshold))
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self.max_programs = max(1, int(max_programs))
+        self._clock = clock
+        self._mu = threading.Lock()
+        self._programs: dict[str, _Program] = {}
+        self.trips_total = 0
+        self.fast_fails = 0
+        self.failures_recorded = 0
+        self.recovered = 0
+        self.evicted = 0
+
+    # -- admission -----------------------------------------------------
+    def admit(self, sha: str) -> None:
+        """Let the program through, or fail fast with ``ServeError(503)``
+        naming the quarantine.  In the half-open state exactly one caller
+        passes (and becomes the probe); everyone else fails fast."""
+        with self._mu:
+            prog = self._programs.get(sha)
+            if prog is None:
+                return
+            now = self._clock()
+            if prog.state == "open":
+                remaining = prog.open_until - now
+                if remaining > 0:
+                    self.fast_fails += 1
+                    raise ServeError(
+                        503,
+                        f"program {sha[:12]} is quarantined by the "
+                        f"circuit breaker — it has {prog.last_cause} "
+                        f"{prog.failures} time(s); next probe in "
+                        f"{max(remaining, 1.0):.0f}s",
+                        retry_after=min(max(remaining, 1.0),
+                                        RETRY_AFTER_CAP),
+                    )
+                prog.state = "half-open"
+                prog.probing = True  # this caller is the probe
+                return
+            if prog.state == "half-open" and prog.probing:
+                self.fast_fails += 1
+                raise ServeError(
+                    503,
+                    f"program {sha[:12]} is quarantined (half-open) — a "
+                    "probe execution is already in flight; retry shortly",
+                    retry_after=5.0,
+                )
+            if prog.state == "half-open":
+                prog.probing = True
+
+    def release(self, sha: str) -> None:
+        """A claimed probe never reached an execution verdict — free the
+        half-open slot so the next submission can probe instead."""
+        with self._mu:
+            prog = self._programs.get(sha)
+            if prog is not None and prog.state == "half-open":
+                prog.probing = False
+
+    # -- verdicts ------------------------------------------------------
+    def record_failure(self, sha: str, cause: str) -> None:
+        """One execution of ``sha`` killed its worker (``cause`` is the
+        human phrase for the diagnostic: crashed / watchdog-killed)."""
+        with self._mu:
+            prog = self._programs.get(sha)
+            if prog is None:
+                if len(self._programs) >= self.max_programs:
+                    self._evict_locked()
+                prog = self._programs[sha] = _Program()
+            prog.failures += 1
+            prog.last_cause = cause
+            self.failures_recorded += 1
+            if prog.state == "half-open" \
+                    or prog.failures >= self.threshold:
+                prog.trips += 1
+                self.trips_total += 1
+                prog.state = "open"
+                prog.probing = False
+                prog.open_until = self._clock() + min(
+                    self.backoff * (2 ** (prog.trips - 1)),
+                    self.backoff_cap)
+
+    def record_success(self, sha: str) -> None:
+        """One execution of ``sha`` completed without harming its worker
+        (any worker-produced result, even a program diagnostic).  The
+        program is healthy — forget it entirely, so the breaker table
+        only ever holds programs that are actually failing."""
+        with self._mu:
+            prog = self._programs.pop(sha, None)
+            if prog is not None and prog.state != "closed":
+                self.recovered += 1
+
+    def _evict_locked(self) -> None:
+        """Drop the oldest non-open entry (insertion order).  Open
+        entries are pinned: evicting one would un-quarantine a poison
+        program mid-backoff."""
+        for sha in list(self._programs):
+            if self._programs[sha].state != "open":
+                del self._programs[sha]
+                self.evicted += 1
+                return
+        # Everything is open (pathological): drop the oldest anyway
+        # rather than grow without bound.
+        sha = next(iter(self._programs))
+        del self._programs[sha]
+        self.evicted += 1
+
+    # -- introspection -------------------------------------------------
+    def state(self, sha: str) -> str:
+        with self._mu:
+            prog = self._programs.get(sha)
+            return prog.state if prog is not None else "closed"
+
+    def stats(self) -> dict:
+        with self._mu:
+            now = self._clock()
+            per_program = {}
+            open_count = half_open = 0
+            for sha, prog in self._programs.items():
+                if prog.state == "open":
+                    open_count += 1
+                elif prog.state == "half-open":
+                    half_open += 1
+                per_program[sha[:12]] = {
+                    "state": prog.state,
+                    "failures": prog.failures,
+                    "trips": prog.trips,
+                    "retry_in": round(max(0.0, prog.open_until - now), 3)
+                    if prog.state == "open" else 0.0,
+                }
+            return {
+                "programs_tracked": len(self._programs),
+                "open": open_count,
+                "half_open": half_open,
+                "trips": self.trips_total,
+                "fast_fails": self.fast_fails,
+                "failures_recorded": self.failures_recorded,
+                "recovered": self.recovered,
+                "evicted": self.evicted,
+                "threshold": self.threshold,
+                "per_program": per_program,
+            }

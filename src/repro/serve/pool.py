@@ -27,6 +27,20 @@ Workers are *not* daemonic: a request may pick ``backend=proc``, and the
 proc backend's own pool processes must be legal children.  Orphan safety
 comes from the pipe instead — when the parent dies, the worker's next
 ``recv`` raises EOF and it exits.
+
+Worker deaths are **classified** by a start-ack: the worker sends
+``("start", id)`` the moment it picks a request up, immediately before
+user code runs.  A death *before* the ack is infrastructure's fault
+(spawn failure, recycle race, severed pipe) — the pool silently retries
+the dispatch on a fresh worker with capped exponential backoff
+(``infra_retries`` × ``infra_retry_backoff``) instead of surfacing a
+500.  A death *after* the ack is the program's doing (crash, OOM,
+deliberate kill): never retried, reported as a crash, and counted by
+the service's circuit breaker.  Queued requests also carry an optional
+queue deadline (``request["queue_deadline"]``): the dispatch sweep sheds
+any never-dispatched request whose deadline passed with a 503-shaped
+result, so an optimistic admission estimate cannot become an unbounded
+wait.
 """
 
 from __future__ import annotations
@@ -35,6 +49,7 @@ import multiprocessing as mp
 import queue as queue_mod
 import signal
 import threading
+import time
 import traceback
 from collections import deque
 from multiprocessing.connection import wait as _conn_wait
@@ -205,6 +220,14 @@ def _worker_main(conn, worker_index: int) -> None:
             except OSError:
                 pass
             return
+        # Start-ack: everything after this line is the program's fault.
+        # The parent uses it to classify a death as infra (retry) vs
+        # program-caused (crash, breaker-counted) — see _on_worker_death.
+        with _send_mu:
+            try:
+                conn.send(("start", msg["id"], None))
+            except (BrokenPipeError, OSError):
+                return
         try:
             payload = _run_request(conn, msg)
         except (SystemExit, KeyboardInterrupt):
@@ -247,6 +270,16 @@ class RunHandle:
         self.done = threading.Event()
         self.worker_pid: int | None = None
         self.started_at: float | None = None
+        #: The worker's start-ack arrived: user code is (about to be)
+        #: running, so a worker death is now the program's fault.
+        self.run_started = False
+        #: Transient-infra redispatches consumed so far.
+        self.infra_retries = 0
+        #: Earliest time the dispatch sweep may (re)assign this handle.
+        self.retry_at: float | None = None
+        #: Queue deadline (absolute): a never-dispatched handle is shed
+        #: once this passes.  Cleared on first dispatch.
+        self.expires_at: float | None = None
         #: Called exactly once with the result (quota release hooks).
         self.on_done = None
         #: ``"coalesced"`` / ``"cache"`` when the service satisfied this
@@ -276,10 +309,19 @@ class RunHandle:
         return self.result
 
 
-def pool_result(status: str, exit_code: int, message: str) -> dict:
+def pool_result(status: str, exit_code: int, message: str, *,
+                cause: str | None = None,
+                http_status: int | None = None,
+                retry_after: float | None = None) -> dict:
     """A result the *pool* synthesizes when no worker payload exists
-    (crash, cancellation, shutdown, watchdog kill)."""
-    return {
+    (crash, cancellation, shutdown, watchdog kill, shed).
+
+    ``cause`` names the server-side event ("crash" / "watchdog" /
+    "infra" / "cancel" / "shutdown" / "shed") so the service can decide
+    what feeds the circuit breaker; ``http_status`` overrides the
+    exit-code→status mapping for conditions the uniform exit codes do
+    not express (503 shed, 500 worker loss)."""
+    result = {
         "status": status,
         "phase": "serve",
         "exit_code": exit_code,
@@ -291,6 +333,13 @@ def pool_result(status: str, exit_code: int, message: str) -> dict:
         "schedule": None,
         "wall_ms": 0.0,
     }
+    if cause is not None:
+        result["cause"] = cause
+    if http_status is not None:
+        result["http_status"] = http_status
+    if retry_after is not None:
+        result["retry_after"] = retry_after
+    return result
 
 
 class _Worker:
@@ -308,7 +357,10 @@ class RunnerPool:
     """A persistent set of sandbox workers plus the routing thread."""
 
     def __init__(self, size: int = 2, recycle_after: int = 0,
-                 max_queue: int = 32, watchdog_grace: float = 3.0):
+                 max_queue: int = 32, watchdog_grace: float = 3.0,
+                 infra_retries: int = 2,
+                 infra_retry_backoff: float = 0.05,
+                 chaos=None):
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         self._ctx = mp.get_context(method)
         self._mu = threading.Lock()
@@ -322,12 +374,21 @@ class RunnerPool:
         self.recycle_after = int(recycle_after)
         self.max_queue = int(max_queue)
         self.watchdog_grace = float(watchdog_grace)
+        self.infra_retries = max(0, int(infra_retries))
+        self.infra_retry_backoff = float(infra_retry_backoff)
+        #: Optional :class:`~repro.serve.chaos.ServeFaultPlan`.
+        self.chaos = chaos
         self.submitted = 0
         self.served = 0
         self.crashed = 0
         self.recycled = 0
         self.cancelled = 0
         self.watchdog_kills = 0
+        self.infra_retried = 0
+        self.shed_expired = 0
+        #: EWMA of recent run durations (seconds) — feeds the admission
+        #: controller's wait estimate.
+        self._avg_run_s = 0.05
         with self._mu:
             for _ in range(self.size):
                 self._spawn_locked()
@@ -446,6 +507,7 @@ class RunnerPool:
         the pool treats it exactly like one it built itself."""
         if handle is None:
             handle = RunHandle(request)
+        deadline = request.get("queue_deadline")
         with self._mu:
             if self._closed:
                 raise ServeError(503, "the server is shutting down")
@@ -462,6 +524,8 @@ class RunnerPool:
             if idle is not None:
                 self._assign_locked(idle, handle)
             else:
+                if deadline:
+                    handle.expires_at = monotonic_clock() + float(deadline)
                 self._pending.append(handle)
         return handle
 
@@ -472,7 +536,23 @@ class RunnerPool:
         return None
 
     def _assign_locked(self, worker: _Worker, handle: RunHandle) -> None:
+        chaos = self.chaos
+        if chaos is not None:
+            delay = chaos.pipe_delay()
+            if delay:
+                time.sleep(delay)
+            if chaos.kill_pre_dispatch():
+                # The send below usually still succeeds into the dying
+                # pipe; the router then sees EOF before any start-ack —
+                # exactly the infra-death shape the retry path handles.
+                worker.proc.kill()
+            elif chaos.sever_pipe():
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
         worker.handle = handle
+        handle.expires_at = None  # dispatched: the queue deadline is met
         handle.worker_pid = worker.proc.pid
         handle.started_at = monotonic_clock()
         try:
@@ -482,16 +562,50 @@ class RunnerPool:
             # in line — the router dispatches when the new worker is up.
             worker.handle = None
             self.crashed += 1
+            self.infra_retried += 1
             self._retire_locked(worker, kill=True)
             self._spawn_locked()
+            handle.worker_pid = None
+            handle.started_at = None
             self._pending.appendleft(handle)
 
-    def _dispatch_pending_locked(self) -> None:
-        while self._pending:
+    def _dispatch_pending_locked(self) -> list[RunHandle]:
+        """Assign queued handles to idle workers, skipping handles whose
+        retry backoff has not lapsed and shedding those whose queue
+        deadline passed.  Returns the shed handles — the caller finishes
+        them *outside* ``_mu`` (handles are never finished under it)."""
+        now = monotonic_clock()
+        expired: list[RunHandle] = []
+        backlog, self._pending = self._pending, deque()
+        while backlog:
+            handle = backlog.popleft()
+            if handle.expires_at is not None and now >= handle.expires_at:
+                self._handles.pop(handle.id, None)
+                self.shed_expired += 1
+                expired.append(handle)
+                continue
+            if handle.retry_at is not None and now < handle.retry_at:
+                self._pending.append(handle)
+                continue
             worker = self._idle_worker_locked()
             if worker is None:
-                return
-            self._assign_locked(worker, self._pending.popleft())
+                self._pending.append(handle)
+                self._pending.extend(backlog)
+                break
+            handle.retry_at = None
+            self._assign_locked(worker, handle)
+        return expired
+
+    def _finish_shed(self, expired: list[RunHandle]) -> None:
+        for handle in expired:
+            waited = handle.request.get("queue_deadline", 0)
+            handle.finish(pool_result(
+                "shed", EXIT_CANCELLED,
+                f"shed: the run waited {waited:g}s in the queue without "
+                "reaching a worker (its queue deadline) — retry shortly",
+                cause="shed", http_status=503,
+                retry_after=max(1.0, round(self._avg_run_s, 1)),
+            ))
 
     # -- routing -------------------------------------------------------
     def _route(self) -> None:
@@ -523,6 +637,22 @@ class RunnerPool:
             if handle is not None:
                 handle.emit_output(payload)
             return
+        if kind == "start":
+            # The worker's ack: user code is running.  From here on a
+            # worker death is the program's fault (crash path, breaker-
+            # counted), never retried.
+            handle = self._handles.get(req_id)
+            if handle is not None:
+                handle.run_started = True
+                chaos = self.chaos
+                if chaos is not None:
+                    src = handle.request.get("source", "")
+                    if chaos.is_poison(src):
+                        chaos.count_poison_kill()
+                        worker.proc.kill()
+                    elif chaos.kill_mid_run():
+                        worker.proc.kill()
+            return
         # "done"
         with self._mu:
             if self._workers.get(worker.index) is not worker:
@@ -532,6 +662,9 @@ class RunnerPool:
             handle, worker.handle = worker.handle, None
             worker.served += 1
             self.served += 1
+            if handle is not None and handle.started_at is not None:
+                dt = monotonic_clock() - handle.started_at
+                self._avg_run_s += 0.2 * (dt - self._avg_run_s)
             recycle = (self.recycle_after
                        and worker.served >= self.recycle_after
                        and not self._closed)
@@ -545,11 +678,13 @@ class RunnerPool:
                 self._spawn_locked()
                 self.recycled += 1
             self._handles.pop(req_id, None)
-            self._dispatch_pending_locked()
+            expired = self._dispatch_pending_locked()
         if handle is not None:
             handle.finish(payload)
+        self._finish_shed(expired)
 
     def _on_worker_death(self, worker: _Worker) -> None:
+        crash = None
         with self._mu:
             if self._workers.get(worker.index) is not worker:
                 return  # already retired by cancel()/recycle
@@ -559,10 +694,40 @@ class RunnerPool:
                 self._spawn_locked()
             if handle is not None:
                 self.crashed += 1
-                self._handles.pop(handle.id, None)
-            self._dispatch_pending_locked()
-        if handle is not None:
-            handle.finish(pool_result("error", 1, _CRASH_RESULT))
+                if (not handle.run_started
+                        and handle.infra_retries < self.infra_retries):
+                    # Infra's fault (the start-ack never came): redispatch
+                    # on a fresh worker after a capped backoff, invisibly
+                    # to the client and to the circuit breaker.
+                    handle.infra_retries += 1
+                    self.infra_retried += 1
+                    handle.worker_pid = None
+                    handle.started_at = None
+                    handle.retry_at = monotonic_clock() + min(
+                        self.infra_retry_backoff
+                        * (2 ** (handle.infra_retries - 1)),
+                        1.0)
+                    self._pending.appendleft(handle)
+                    handle = None
+                else:
+                    self._handles.pop(handle.id, None)
+                    if handle.run_started:
+                        crash = pool_result(
+                            "error", 1, _CRASH_RESULT,
+                            cause="crash", http_status=500)
+                    else:
+                        crash = pool_result(
+                            "error", 1,
+                            "the worker process died before the program "
+                            f"started, {handle.infra_retries + 1} time(s) "
+                            "in a row — server infrastructure trouble, "
+                            "not the program's fault; retry shortly",
+                            cause="infra", http_status=500,
+                            retry_after=1.0)
+            expired = self._dispatch_pending_locked()
+        if handle is not None and crash is not None:
+            handle.finish(crash)
+        self._finish_shed(expired)
 
     def _check_watchdog(self) -> None:
         """Kill workers wedged well past their run's time budget."""
@@ -583,15 +748,16 @@ class RunnerPool:
                     self._spawn_locked()
                 self._handles.pop(handle.id, None)
                 self.watchdog_kills += 1
-            if victims:
-                self._dispatch_pending_locked()
+            expired = self._dispatch_pending_locked()
         for _worker, handle in victims:
             handle.finish(pool_result(
                 "time", EXIT_LIMIT,
                 f"the run exceeded its time budget of "
                 f"{handle.request.get('time_limit', 0):g}s and was killed "
                 "by the server watchdog",
+                cause="watchdog",
             ))
+        self._finish_shed(expired)
 
     # -- cancellation --------------------------------------------------
     def cancel(self, req_id: str,
@@ -599,6 +765,7 @@ class RunnerPool:
         """Cancel a pending or running request.  A running request's
         worker is killed and replaced — cancellation must not depend on
         the program reaching a statement boundary."""
+        expired: list[RunHandle] = []
         with self._mu:
             handle = self._handles.pop(req_id, None)
             if handle is None:
@@ -616,13 +783,30 @@ class RunnerPool:
                     self._retire_locked(victim, kill=True)
                     if not self._closed:
                         self._spawn_locked()
-                    self._dispatch_pending_locked()
+                    expired = self._dispatch_pending_locked()
             self.cancelled += 1
         handle.finish(pool_result(
-            "cancelled", EXIT_CANCELLED, f"the run was cancelled — {reason}"))
+            "cancelled", EXIT_CANCELLED, f"the run was cancelled — {reason}",
+            cause="cancel"))
+        self._finish_shed(expired)
         return True
 
     # -- stats ---------------------------------------------------------
+    def occupancy(self) -> dict:
+        """A live snapshot for the admission controller: who is busy,
+        how deep the queue is, and the run-duration EWMA."""
+        with self._mu:
+            busy = sum(1 for w in self._workers.values()
+                       if w.handle is not None)
+            return {
+                "workers": len(self._workers),
+                "busy": busy,
+                "idle": len(self._workers) - busy,
+                "pending": len(self._pending),
+                "max_queue": self.max_queue,
+                "avg_run_seconds": self._avg_run_s,
+            }
+
     def stats(self) -> dict:
         with self._mu:
             return {
@@ -636,6 +820,9 @@ class RunnerPool:
                 "recycled": self.recycled,
                 "cancelled": self.cancelled,
                 "watchdog_kills": self.watchdog_kills,
+                "infra_retried": self.infra_retried,
+                "shed_expired": self.shed_expired,
+                "avg_run_seconds": round(self._avg_run_s, 4),
                 "worker_pids": sorted(w.proc.pid
                                       for w in self._workers.values()),
             }

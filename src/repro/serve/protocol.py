@@ -42,7 +42,9 @@ reports, README "Guardrails & chaos testing"):
 
 Server-level conditions use the usual codes on top: 404 unknown route,
 405 wrong method, 413 source too large, 429 quota or rate limit,
-500 worker crash, 503 at capacity / shutting down.
+500 worker crash, 503 shed (queue full or queue deadline unreachable,
+with ``Retry-After`` from live pool occupancy), quarantined by the
+poison-program circuit breaker, draining, or shutting down.
 """
 
 from __future__ import annotations
@@ -117,6 +119,35 @@ class ServeConfig:
     recycle_after: int = 64
     #: Requests queued waiting for a worker before the service says 503.
     max_queue: int = 32
+    #: Queue-wait budget in seconds: the default applies when a request
+    #: names no ``queue_deadline``, the ceiling clamps what it may ask
+    #: for.  A request is shed (503 + ``Retry-After``) the moment the
+    #: estimated wait exceeds its deadline — at admission when the pool
+    #: is already that far behind, or in the queue when the estimate
+    #: proves optimistic.
+    default_queue_wait: float = 10.0
+    max_queue_wait: float = 60.0
+    #: Poison-program circuit breaker: consecutive worker-killing
+    #: outcomes (crash / OOM / watchdog kill) before a program sha is
+    #: quarantined, the first quarantine length in seconds (doubling per
+    #: re-trip), and the backoff ceiling.
+    breaker_threshold: int = 3
+    breaker_backoff: float = 30.0
+    breaker_backoff_cap: float = 600.0
+    #: Transient-infra retries: how many times a dispatch whose worker
+    #: died *before user code started* (spawn failure, recycle race,
+    #: pipe EOF) is retried on a fresh worker, and the first retry
+    #: backoff in seconds (doubling, capped at 1s).  Program-caused
+    #: deaths are never retried — they feed the breaker instead.
+    infra_retries: int = 2
+    infra_retry_backoff: float = 0.05
+    #: Graceful-drain budget: seconds in-flight runs get to finish after
+    #: SIGTERM / ``POST /api/drain`` before being cancelled with partial
+    #: output.
+    drain_grace: float = 10.0
+    #: Seeded serve-layer fault injection (``--chaos-serve``); ``None``
+    #: disables it.  See :mod:`repro.serve.chaos`.
+    chaos_serve_seed: int | None = None
     #: Token-bucket refill per tenant, requests/second.
     rate: float = 10.0
     #: Token-bucket capacity (burst size) per tenant.
@@ -189,10 +220,11 @@ def run_key(request: dict) -> tuple:
 
     Two requests with equal keys ask for the same computation: same
     program (by sha), entry point, input lines, backend and scheduling
-    knobs, guardrail budgets, and instrumentation flags.  Tenant and
-    request id are deliberately excluded — identity is *what* runs, not
-    *who* asked.  This is the key both request coalescing and the result
-    cache share.
+    knobs, guardrail budgets, and instrumentation flags.  Tenant,
+    request id, and the queue deadline are deliberately excluded —
+    identity is *what* runs, not *who* asked or how long they were
+    willing to wait.  This is the key both request coalescing and the
+    result cache share.
     """
     return (
         hashlib.sha256(request["source"].encode("utf-8")).hexdigest(),
@@ -217,6 +249,7 @@ _KNOWN_FIELDS = frozenset({
     "source", "inputs", "entry", "backend", "detect_races", "metrics",
     "time_limit", "memory_limit", "step_limit", "output_limit",
     "chaos_seed", "workers", "chunking", "record_schedule", "name",
+    "queue_deadline",
 })
 
 
@@ -291,4 +324,8 @@ def validate_request(payload: object, cfg: ServeConfig) -> dict:
                                cfg.default_output_limit,
                                cfg.max_output_limit,
                                kind=int, name="'output_limit'"),
+        "queue_deadline": _clamp(payload.get("queue_deadline"),
+                                 cfg.default_queue_wait,
+                                 cfg.max_queue_wait,
+                                 kind=float, name="'queue_deadline'"),
     }

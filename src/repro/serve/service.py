@@ -51,15 +51,20 @@ invert the order.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import os
 import threading
+import time
 
 from ..analysis.determinism import nondeterminism_reason
 from ..api import cached_program, program_cache_info
 from ..errors import EXIT_CANCELLED, TetraError, exit_code_for
 from ..source import SourceFile
+from ..stdlib.builtin_time import monotonic_clock
 from .cache import ResultCache
+from .chaos import ServeFaultPlan
+from .overload import AdmissionController, CircuitBreaker
 from .pool import RunHandle, RunnerPool, pool_result
 from .protocol import ServeConfig, ServeError, run_key, validate_request
 from .quotas import TenantQuotas
@@ -136,20 +141,36 @@ class _Entry:
 class ExecutionService:
     """One multi-tenant Tetra execution service."""
 
-    def __init__(self, config: ServeConfig | None = None):
+    def __init__(self, config: ServeConfig | None = None, *,
+                 chaos: ServeFaultPlan | None = None):
         self.config = config or ServeConfig()
         cfg = self.config
+        if chaos is None and cfg.chaos_serve_seed is not None:
+            chaos = ServeFaultPlan(cfg.chaos_serve_seed)
+        self.chaos = chaos
         self.quotas = TenantQuotas(rate=cfg.rate, burst=cfg.burst,
                                    max_concurrent=cfg.max_concurrent)
+        self.admission = AdmissionController(max_queue=cfg.max_queue)
+        self.breaker = CircuitBreaker(threshold=cfg.breaker_threshold,
+                                      backoff=cfg.breaker_backoff,
+                                      backoff_cap=cfg.breaker_backoff_cap)
         self.pool = RunnerPool(size=cfg.workers,
                                recycle_after=cfg.recycle_after,
                                max_queue=cfg.max_queue,
-                               watchdog_grace=cfg.watchdog_grace)
+                               watchdog_grace=cfg.watchdog_grace,
+                               infra_retries=cfg.infra_retries,
+                               infra_retry_backoff=cfg.infra_retry_backoff,
+                               chaos=chaos)
         self.result_cache = ResultCache(capacity=cfg.result_cache_size,
                                         path=cfg.result_cache_path)
         self._mu = threading.Lock()
         self._seq = itertools.count(1)
         self._closed = False
+        self._draining = False
+        #: Set once a drain has fully completed (pool down, cache saved).
+        self.drained = threading.Event()
+        self._drain_thread: threading.Thread | None = None
+        self.drain_cancelled = 0
         #: request id → _Entry for every admitted, unfinished request.
         self._runs: dict[str, _Entry] = {}
         #: run_key → live _SharedRun (removed the moment it finishes or
@@ -173,10 +194,13 @@ class ExecutionService:
         Returns a :class:`~repro.serve.pool.RunHandle`; compile failures
         return an already-finished handle (the caller streams/reports it
         uniformly).  Raises :class:`ServeError` for refusals (400/413
-        malformed, 429 quota, 503 capacity).
+        malformed, 429 quota, 503 shed/quarantined/capacity/draining).
+        Refusals are ordered so a refused request costs nothing: breaker
+        and admission fire *before* the quota charge and the sandbox.
         """
-        if self._closed:
-            raise ServeError(503, "the server is shutting down")
+        if self._closed or self._draining:
+            raise ServeError(503, "the server is draining — no new runs "
+                             "are being admitted", retry_after=30.0)
         with self._mu:
             self.requests_total += 1
         try:
@@ -187,7 +211,21 @@ class ExecutionService:
             raise
         request["tenant"] = tenant
         request["id"] = self._request_id()
-        self.quotas.admit(tenant)  # raises ServeError(429)
+        sha = hashlib.sha256(
+            request["source"].encode("utf-8")).hexdigest()
+        request["program_sha"] = sha
+        # Fail-fast order: quarantine first (cheapest, names the program),
+        # then occupancy shedding, then the per-tenant quota charge.  A
+        # successful breaker admit in the half-open state claims the
+        # probe, so any later refusal must hand it back.
+        self.breaker.admit(sha)  # raises ServeError(503) when quarantined
+        try:
+            self.admission.check(self.pool.occupancy(),
+                                 request["queue_deadline"])
+            self.quotas.admit(tenant)  # raises ServeError(429)
+        except BaseException:
+            self.breaker.release(sha)
+            raise
         waiter = RunHandle(request)
         waiter.on_done = lambda _result: self.quotas.release(tenant)
         entry = _Entry(waiter)
@@ -199,6 +237,7 @@ class ExecutionService:
             with self._mu:
                 if self._runs.get(request["id"]) is entry:
                     del self._runs[request["id"]]
+            self.breaker.release(sha)
             if not waiter.done.is_set():
                 waiter.on_done = None
                 self.quotas.release(tenant)
@@ -208,8 +247,19 @@ class ExecutionService:
     def _place(self, entry: _Entry, waiter: RunHandle,
                request: dict) -> None:
         """Satisfy ``request``: cached result, an in-flight identical
-        run, or a fresh sandbox execution — in that order."""
+        run, or a fresh sandbox execution — in that order.
+
+        Breaker contract: every path that does *not* hand the request to
+        a fresh sandbox execution (compile reject, cache hit, cancelled
+        under us, coalesced join) releases the program's half-open probe
+        claim — only a real execution may settle it with a verdict.
+        """
         req_id = request["id"]
+        sha = request["program_sha"]
+        if self.chaos is not None:
+            stall = self.chaos.compile_stall()
+            if stall:
+                time.sleep(stall)
         try:
             # The shared front-end cache: every tenant's identical source
             # hits one compiled tree, and concurrent first-requests are
@@ -223,6 +273,7 @@ class ExecutionService:
                 self.compile_rejects += 1
                 if self._runs.get(req_id) is entry:
                     del self._runs[req_id]
+            self.breaker.release(sha)
             source = SourceFile.from_string(request["source"],
                                             request["name"])
             waiter.finish({
@@ -245,8 +296,10 @@ class ExecutionService:
             if cached is not None:
                 with self._mu:
                     if self._runs.get(req_id) is not entry:
+                        self.breaker.release(sha)
                         return  # cancelled while we were compiling
                     del self._runs[req_id]
+                self.breaker.release(sha)
                 result = dict(cached)
                 result["cached"] = True
                 waiter.dedup = "cache"
@@ -259,6 +312,7 @@ class ExecutionService:
                 # Cancelled between admission and dispatch: the cancel
                 # already finished the waiter; starting the sandbox run
                 # anyway would burn a worker on a dead request.
+                self.breaker.release(sha)
                 return
             if self.config.coalesce:
                 shared = self._shared.get(key)
@@ -277,6 +331,9 @@ class ExecutionService:
                                 pid = shared.handle._worker_pid
                                 if pid is not None:
                                     waiter.worker_pid = pid
+                            # The in-flight execution (not this waiter)
+                            # owns the breaker verdict.
+                            self.breaker.release(sha)
                             return
             # Fresh execution.  The sandbox run gets its own id (the
             # submitter's id + "x") so a waiter cancel and an execution
@@ -313,6 +370,23 @@ class ExecutionService:
         Runs on whatever thread finished the pool handle — the router,
         the watchdog, or a cancel — always outside ``pool._mu``.
         """
+        # Breaker verdict for this execution.  Only *worker-killing*
+        # outcomes (a real crash/OOM, or a wedge the watchdog ended) are
+        # failures; any worker-produced result — even a program
+        # diagnostic — proves the program harmless.  Everything else
+        # (cancel, shutdown, infra loss, shed) is no verdict at all and
+        # merely hands back a half-open probe claim.
+        sha = shared.key[0]
+        cause = result.get("cause")
+        if cause == "crash":
+            self.breaker.record_failure(sha, "crashed its sandbox worker")
+        elif cause == "watchdog":
+            self.breaker.record_failure(
+                sha, "been killed by the server watchdog")
+        elif result.get("phase") in ("run", "compile", "internal"):
+            self.breaker.record_success(sha)
+        else:
+            self.breaker.release(sha)
         with shared.mu:
             shared.done = True
             waiters = list(shared.waiters)
@@ -395,6 +469,49 @@ class ExecutionService:
             self.pool.cancel(kill_id, reason)
         return True
 
+    # -- drain ---------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self, grace: float | None = None) -> threading.Event:
+        """Stop admissions and wind the service down gracefully.
+
+        New submissions are refused with 503 immediately; in-flight runs
+        get up to ``grace`` seconds (default ``config.drain_grace``) to
+        finish, then are cancelled with whatever output they produced.
+        The pool is shut down and the result cache persisted.  Returns
+        the event set once the drain has fully completed; idempotent —
+        a second call just returns the same event.
+        """
+        with self._mu:
+            if self._draining or self._closed:
+                return self.drained
+            self._draining = True
+        if grace is None:
+            grace = self.config.drain_grace
+        self._drain_thread = threading.Thread(
+            target=self._drain, args=(float(grace),),
+            name="tetra-serve-drain", daemon=True)
+        self._drain_thread.start()
+        return self.drained
+
+    def _drain(self, grace: float) -> None:
+        deadline = monotonic_clock() + grace
+        while monotonic_clock() < deadline:
+            with self._mu:
+                if not self._runs:
+                    break
+            time.sleep(0.05)
+        with self._mu:
+            leftovers = list(self._runs)
+        for req_id in leftovers:
+            if self.cancel(req_id, reason="the server is draining and "
+                           "the drain deadline passed"):
+                self.drain_cancelled += 1
+        self.shutdown()
+        self.drained.set()
+
     # -- introspection -------------------------------------------------
     def check(self, payload: object) -> dict:
         """Static diagnostics only (the ``POST /api/check`` path) — no
@@ -435,15 +552,29 @@ class ExecutionService:
         dedup["cache_hits"] = result_cache["hits"]
         dedup["executions"] = pool_stats["submitted"]
         dedup["result_cache"] = result_cache
-        return {
+        overload = {
+            "admission": self.admission.stats(),
+            "breaker": self.breaker.stats(),
+            "shed_expired": pool_stats["shed_expired"],
+            "infra_retried": pool_stats["infra_retried"],
+            "draining": self._draining,
+            "drain_cancelled": self.drain_cancelled,
+        }
+        out = {
             **totals,
             "dedup": dedup,
+            "overload": overload,
             "pool": pool_stats,
             "quotas": self.quotas.stats(),
             "program_cache": cache,
         }
+        if self.chaos is not None:
+            out["chaos"] = self.chaos.stats()
+        return out
 
     def shutdown(self) -> None:
+        """Stop the service immediately (idempotent; :meth:`begin_drain`
+        ends here too, after its grace period)."""
         self._closed = True
         # Closing the pool finishes every in-flight exec handle with a
         # cancelled result, which fans out to the waiters via on_done.

@@ -384,6 +384,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         coalesce=not args.no_dedup,
         result_cache_size=0 if args.no_dedup else args.result_cache_size,
         result_cache_path=args.result_cache_path,
+        max_queue=args.max_queue,
+        default_queue_wait=args.queue_wait,
+        max_queue_wait=args.max_queue_wait,
+        breaker_threshold=args.breaker_threshold,
+        breaker_backoff=args.breaker_backoff,
+        infra_retries=args.infra_retries,
+        drain_grace=args.drain_grace,
+        chaos_serve_seed=args.chaos_serve,
     )
     return serve(config, verbose=args.verbose)
 
@@ -607,6 +615,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--result-cache-path", default=None, metavar="FILE",
                          help="persist the result cache to FILE across "
                               "restarts (default: in-memory only)")
+    serve_p.add_argument("--max-queue", type=int, default=32, metavar="N",
+                         help="bounded run-queue depth; arrivals beyond it "
+                              "are shed with 503 + Retry-After "
+                              "(default: 32)")
+    serve_p.add_argument("--queue-wait", type=float, default=10.0,
+                         metavar="T",
+                         help="default per-request queue deadline, seconds "
+                              "(default: 10)")
+    serve_p.add_argument("--max-queue-wait", type=float, default=60.0,
+                         metavar="T",
+                         help="ceiling on the queue deadline a request may "
+                              "ask for (default: 60)")
+    serve_p.add_argument("--breaker-threshold", type=int, default=3,
+                         metavar="N",
+                         help="consecutive worker-killing outcomes before "
+                              "a program sha is quarantined (default: 3)")
+    serve_p.add_argument("--breaker-backoff", type=float, default=30.0,
+                         metavar="T",
+                         help="first quarantine length in seconds, doubling "
+                              "per re-trip (default: 30)")
+    serve_p.add_argument("--infra-retries", type=int, default=2, metavar="N",
+                         help="redispatches when a worker dies before user "
+                              "code starts (default: 2)")
+    serve_p.add_argument("--drain-grace", type=float, default=10.0,
+                         metavar="T",
+                         help="seconds in-flight runs get to finish on "
+                              "SIGTERM / POST /api/drain (default: 10)")
+    serve_p.add_argument("--chaos-serve", type=int, default=None,
+                         metavar="SEED",
+                         help="arm seeded serve-layer fault injection "
+                              "(worker kills, pipe faults, client drops, "
+                              "compile stalls) — testing only")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log each HTTP request to stderr")
     serve_p.set_defaults(func=cmd_serve)
