@@ -1,0 +1,206 @@
+"""Per-tier wall-clock comparison: walker vs. fast path vs. proc vs. native.
+
+The native compiled tier's claim (DESIGN.md §2c) is that type-checked
+numeric kernels escape the interpreter loop entirely: the hot function and
+the ``parallel for`` body run as machine code, so the speedup is orthogonal
+to — and multiplies with — real-core parallelism.  This script measures it
+on two numeric workloads:
+
+* **primes** — trial-division prime counting, a branchy integer kernel
+  with a lock-reduction ``parallel for`` (the paper's own workload);
+* **matmul** — the inner loop of a dense integer matrix multiply, an
+  array-indexing kernel whose rows are computed by a ``parallel for``.
+
+Each workload runs on four tiers sharing one source program:
+
+* ``walker``  — the seed tree-walking interpreter (``fast=False``);
+* ``fast``    — the AST→closure fast path (the default pipeline);
+* ``proc``    — the process-parallel backend at machine-core workers;
+* ``native``  — ``--native=require``: C kernels on OS threads.
+
+Usage::
+
+    python benchmarks/bench_native_tiers.py --json BENCH_parallel_speedup.json
+
+When the JSON file already holds the proc speedup study, the per-tier
+section is merged in under ``"tiers"`` (the existing keys are preserved).
+The acceptance floor: native at least 5x over the fast path on both
+kernels — pure single-thread compiled-code gains, so it applies even on
+one core.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import run_source  # noqa: E402
+from repro.compiler.native import find_compiler  # noqa: E402
+from repro.runtime import RuntimeConfig  # noqa: E402
+
+MIN_NATIVE_VS_FAST = 5.0
+
+PRIMES = """\
+def is_prime(n int) bool:
+    if n < 2:
+        return false
+    if n % 2 == 0:
+        return n == 2
+    d = 3
+    while d * d <= n:
+        if n % d == 0:
+            return false
+        d += 2
+    return true
+
+def main():
+    count = 0
+    parallel for n in [2 ... {limit}]:
+        if is_prime(n):
+            lock c:
+                count += 1
+    print(count)
+"""
+
+MATMUL = """\
+def row(a [int], b [int], c [int], n int, i int):
+    j = 0
+    while j < n:
+        total = 0
+        k = 0
+        while k < n:
+            total += a[i * n + k] * b[k * n + j]
+            k += 1
+        c[i * n + j] = total
+        j += 1
+
+def main():
+    n = {n}
+    a = [0 ... n * n - 1]
+    b = [0 ... n * n - 1]
+    c = [0 ... n * n - 1]
+    i = 0
+    while i < n * n:
+        a[i] = i % 17
+        b[i] = i % 23
+        c[i] = 0
+        i += 1
+    parallel for r in [0 ... n - 1]:
+        row(a, b, c, n, r)
+    check = 0
+    for i in [0 ... n * n - 1]:
+        check += c[i]
+    print(check)
+"""
+
+
+def _time_tier(source, tier, jobs, repeats):
+    kwargs = {}
+    if tier == "walker":
+        kwargs = {"fast": False, "cache": False}
+    elif tier == "proc":
+        kwargs = {"backend": "proc",
+                  "config": RuntimeConfig(num_workers=jobs)}
+    elif tier == "native":
+        kwargs = {"native": "require",
+                  "config": RuntimeConfig(num_workers=jobs)}
+    # One untimed warm-up: the fast path compiles closures into the
+    # program cache, the native tier builds (or dlopens) its .so, proc
+    # spins up its pool.  Steady state is what the tier comparison is
+    # about; cold-start costs are covered by the artifact-cache tests.
+    run_source(source, **kwargs)
+    best, output = None, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_source(source, **kwargs)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+        output = result.output
+    return best, output
+
+
+def run_workload(name, source, jobs, repeats):
+    print(f"{name}:")
+    timings = {}
+    baseline_out = None
+    for tier in ("walker", "fast", "proc", "native"):
+        seconds, output = _time_tier(source, tier, jobs, repeats)
+        if baseline_out is None:
+            baseline_out = output
+        elif output != baseline_out:
+            raise SystemExit(
+                f"{name}: tier '{tier}' output diverged: "
+                f"{output!r} != {baseline_out!r}")
+        timings[tier] = seconds
+        print(f"  {tier:<8} {seconds * 1000:9.1f} ms")
+    entry = {
+        "output": baseline_out.strip(),
+        "seconds": {t: round(s, 6) for t, s in timings.items()},
+        "speedup_vs_walker": {
+            t: round(timings["walker"] / s, 2) if s > 0 else 0.0
+            for t, s in timings.items()},
+        "native_vs_fast": round(timings["fast"] / timings["native"], 2)
+        if timings["native"] > 0 else 0.0,
+    }
+    print(f"  native vs fast path: {entry['native_vs_fast']:.1f}x "
+          f"(target >= {MIN_NATIVE_VS_FAST:.0f}x)")
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="wall-clock per-tier comparison on numeric kernels")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller workloads, single repetition (CI)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="merge a 'tiers' section into this JSON file")
+    args = parser.parse_args(argv)
+
+    if find_compiler() is None:
+        print("no C compiler on this machine; the native tier cannot run")
+        return 1
+
+    cores = os.cpu_count() or 1
+    repeats = 1 if args.smoke else 3
+    primes_limit = 20000 if args.smoke else 60000
+    matmul_n = 48 if args.smoke else 96
+
+    print(f"per-tier benchmark on {cores} core(s), "
+          f"jobs={cores}, repeats={repeats}")
+    workloads = {
+        "primes": run_workload(
+            f"primes up to {primes_limit}",
+            PRIMES.format(limit=primes_limit), cores, repeats),
+        "matmul": run_workload(
+            f"matmul {matmul_n}x{matmul_n} (int)",
+            MATMUL.format(n=matmul_n), cores, repeats),
+    }
+    met = all(w["native_vs_fast"] >= MIN_NATIVE_VS_FAST
+              for w in workloads.values())
+    print(f"native >= {MIN_NATIVE_VS_FAST:.0f}x over fast path on both "
+          f"kernels -> {'met' if met else 'NOT met'}")
+
+    if args.json:
+        payload = {}
+        if os.path.exists(args.json):
+            with open(args.json, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        payload["tiers"] = {
+            "machine_cores": cores,
+            "mode": "smoke" if args.smoke else "full",
+            "workloads": workloads,
+            "target_native_vs_fast": MIN_NATIVE_VS_FAST,
+            "target_met": met,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if met else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -147,7 +147,8 @@ _inflight: dict[tuple, threading.Event] = {}
 def cached_program(text: str, name: str = "<string>",
                    entry: str = "main",
                    cache: bool = True,
-                   flags: tuple = (False, False)) -> tuple[Program, SourceFile]:
+                   flags: tuple = (False, False, False)
+                   ) -> tuple[Program, SourceFile]:
     """:func:`compile_source` behind the LRU program cache.
 
     Only successful compilations are cached — a program with a syntax or
@@ -156,12 +157,13 @@ def cached_program(text: str, name: str = "<string>",
     explicit invalidation to get wrong.
 
     ``flags`` folds compile-affecting run modes into the key — by default
-    ``(detect_races, observability)`` both off, the plain-run variant.
-    The race detector and the observability layer bind their hooks into
-    per-node annotations and compiled closures; callers that enable them
-    pass their flag tuple here so an instrumented run never shares a
-    cached tree with an uninstrumented one (each variant gets its own
-    entry).
+    ``(detect_races, observability, native)`` all off, the plain-run
+    variant.  The race detector and the observability layer bind their
+    hooks into per-node annotations and compiled closures, and the
+    native tier annotates ``parallel for`` nodes with its lowered-kernel
+    metadata; callers that enable any of them pass their flag tuple here
+    so an instrumented (or native-lowered) run never shares a cached
+    tree with a plain one (each variant gets its own entry).
 
     Concurrent misses on the same key are **single-flight**: the first
     caller compiles while the rest wait on its result, so N simultaneous
@@ -307,6 +309,7 @@ def run_source(text: str, inputs: list[str] | None = None,
                output_limit: int = 0,
                cancel: object = None, chaos_seed: int | None = None,
                record_schedule: bool = False, replay: object = None,
+               native: str | None = None,
                io: CapturingIO | None = None,
                on_error: str = "raise") -> RunResult:
     """Compile and run Tetra source, capturing console output.
@@ -335,6 +338,13 @@ def run_source(text: str, inputs: list[str] | None = None,
     whatever partial output, races, and metrics the run produced — instead
     of raising.
 
+    ``native`` picks the native compiled tier's mode (``"auto"``,
+    ``"off"``, ``"require"`` — see :mod:`repro.compiler.native`); None
+    defers to ``config.native`` (default off).  Under ``"auto"``,
+    type-checked numeric functions and merge-safe ``parallel for``
+    bodies run as compiled C kernels, and everything ineligible falls
+    back to the fast path with the reason in :attr:`RunResult.metrics`.
+
     Record/replay (DESIGN.md §6g): ``record_schedule=True`` attaches a
     :class:`~repro.runtime.schedule.ScheduleRecorder` and leaves the
     versioned artifact on :attr:`RunResult.schedule`; ``replay`` takes a
@@ -360,15 +370,21 @@ def run_source(text: str, inputs: list[str] | None = None,
             detect_races = True
         if chaos_seed is None:
             chaos_seed = sched.chaos_seed
+    if native is not None and native not in ("auto", "off", "require"):
+        raise ValueError("native must be 'auto', 'off', or 'require'")
     cfg_races = detect_races or (config is not None and config.detect_races)
     cfg_obs = (trace or metrics or profile
                or (config is not None and (config.trace or config.metrics
                                            or config.profile)))
+    cfg_native = native if native is not None \
+        else (config.native if config is not None else "off")
     program, source = cached_program(
         text, name, entry, cache=cache,
-        flags=(bool(cfg_races), bool(cfg_obs)),
+        flags=(bool(cfg_races), bool(cfg_obs), cfg_native != "off"),
     )
     overrides = {}
+    if native is not None:
+        overrides["native"] = native
     if detect_races:
         overrides["detect_races"] = True
     if trace:
@@ -488,6 +504,7 @@ def run_file(path: str, inputs: list[str] | None = None,
              output_limit: int = 0,
              cancel: object = None, chaos_seed: int | None = None,
              record_schedule: bool = False, replay: object = None,
+             native: str | None = None,
              io: CapturingIO | None = None,
              on_error: str = "raise") -> RunResult:
     """Compile and run a ``.ttr`` file.
@@ -507,4 +524,4 @@ def run_file(path: str, inputs: list[str] | None = None,
                       output_limit=output_limit,
                       cancel=cancel, chaos_seed=chaos_seed,
                       record_schedule=record_schedule, replay=replay,
-                      io=io, on_error=on_error)
+                      native=native, io=io, on_error=on_error)

@@ -91,6 +91,14 @@ class TetraIOError(TetraRuntimeError):
     phase = "i/o error"
 
 
+class TetraNativeError(TetraRuntimeError):
+    """``--native=require`` asked for the native compiled tier, but it
+    cannot be set up on this run (no C toolchain, a failed build, or a
+    configuration the tier cannot honor)."""
+
+    phase = "native tier unavailable"
+
+
 class TetraAssertionError(TetraRuntimeError):
     """Failure of the ``assert`` builtin (part of the extended stdlib)."""
 

@@ -115,9 +115,9 @@ class IDESession:
         try:
             # Re-running an unchanged buffer (the common edit-run loop) hits
             # the program cache and skips the lex/parse/check pipeline.
-            program, source = cached_program(self.text, self.path or "<editor>",
-                                             cache=self.cache,
-                                             flags=(bool(detect_races), False))
+            program, source = cached_program(
+                self.text, self.path or "<editor>", cache=self.cache,
+                flags=(bool(detect_races), False, False))
             self._last_source = source
             config = RuntimeConfig(detect_races=True) if detect_races else None
             if config is None:

@@ -250,6 +250,20 @@ class _Compiler:
                 self._method_invokers[(cls.name, method.name)] = \
                     self._make_invoker(sig, cell)
                 pending.append((method, cell))
+        # Between the phases: substitute native (C) invokers for lowered
+        # functions.  Call sites bind their callee from `_invokers` while
+        # bodies compile in phase 2, so the swap must happen first; the
+        # phase-1 Python invoker survives as the fallback each native
+        # invoker delegates to when arguments exceed the C ABI (ints
+        # beyond 64 bits).
+        native = getattr(self.interp, "_native", None)
+        if native is not None:
+            for fn in program.functions:
+                replacement = native.function_invoker(
+                    fn.name, self._invokers[fn.name]
+                )
+                if replacement is not None:
+                    self._invokers[fn.name] = replacement
         # Phase 2: compile the bodies.
         for fn, cell in pending:
             self._induction = frozenset(
@@ -764,10 +778,14 @@ class _Compiler:
         obs = self._obs
         try_offload = backend.try_parallel_for
         sched_rec = interp.config.schedule_recorder
+        native = getattr(interp, "_native", None)
 
         def run(ctx):
             items = interp._iterate(iterable_fn(ctx), span)
             if not items:
+                return
+            if native is not None and native.try_parallel_for(interp, s,
+                                                              items, ctx):
                 return
             if try_offload is not None and try_offload(interp, s, items,
                                                        ctx):

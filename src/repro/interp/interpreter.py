@@ -233,6 +233,19 @@ class Interpreter:
         # detector's read/write instrumentation lives in the dispatch
         # methods above, and the walker's per-node cost is noise next to
         # vector-clock bookkeeping.
+        # The native compiled tier (repro.compiler.native): set up before
+        # the fast-path compile so lowered functions can substitute their
+        # C invokers while call sites are being bound.  `_native` is a
+        # NativeRun (possibly disabled, carrying the reason) or None when
+        # native="off"; its state is exported on the backend for
+        # --metrics, mirroring the proc backend's fallback reporting.
+        self._native = None
+        if self.config.native != "off":
+            from ..compiler.native import setup_native
+
+            self._native = setup_native(self)
+            if self._native is not None:
+                self.backend.native_state = self._native.state
         self._compiled = None
         #: True when calls run through precompiled closures; tests assert
         #: this to pin down the detect_races fallback choice.
@@ -650,6 +663,10 @@ class Interpreter:
     def _exec_parallel_for(self, stmt: ParallelFor, ctx: ThreadContext) -> None:
         items = self._iterate(self.eval_expr(stmt.iterable, ctx), stmt.span)
         if not items:
+            return
+        native = self._native
+        if native is not None and native.try_parallel_for(self, stmt, items,
+                                                          ctx):
             return
         offload = self.backend.try_parallel_for
         if offload is not None and offload(self, stmt, items, ctx):

@@ -79,6 +79,11 @@ class RunMetrics:
     #: (real cores — 0 if no loop was offloaded), machine cores available,
     #: and (line, reason) for every loop that fell back to threads.
     proc: dict | None = None
+    #: Native-tier results (``--native`` runs only): mode, whether the
+    #: tier came up (and the notice when it didn't), lowered function
+    #: names, kernel call counts, artifact-cache hit, and (line, reason)
+    #: for everything that stayed on the fast path.
+    native: dict | None = None
 
     def to_dict(self) -> dict:
         """A JSON-friendly view (tests and ``RunResult`` consumers)."""
@@ -112,6 +117,8 @@ class RunMetrics:
             "estimated_speedup": self.estimated_speedup,
             "sim": dict(self.sim) if self.sim is not None else None,
             "proc": dict(self.proc) if self.proc is not None else None,
+            "native": (dict(self.native)
+                       if self.native is not None else None),
         }
 
     # ------------------------------------------------------------------
@@ -172,6 +179,26 @@ class RunMetrics:
             for line_no, reason in p["fallbacks"]:
                 lines.append(
                     f"    line {line_no}: ran on threads — {reason}"
+                )
+        if self.native is not None:
+            n = self.native
+            if n["enabled"]:
+                built = ("artifact cache hit" if n["cache_hit"]
+                         else "cold build")
+                lines.append(
+                    f"  native tier        {len(n['functions'])} "
+                    f"function(s), {n['parallel_loops']} parallel loop(s) "
+                    f"compiled to C ({built}); {n['calls']} call(s), "
+                    f"{n['parallel_calls']} kernel loop run(s)"
+                )
+            else:
+                lines.append(
+                    f"  native tier        unavailable — {n['notice']}"
+                )
+            for line_no, reason in n["fallbacks"]:
+                lines.append(
+                    f"    line {line_no}: stayed on the fast path — "
+                    f"{reason}"
                 )
         return "\n".join(lines)
 
@@ -287,6 +314,11 @@ def collect_metrics(obs, backend) -> RunMetrics:
             "fallbacks": list(getattr(backend, "fallbacks", ())),
         }
 
+    native = None
+    native_state = getattr(backend, "native_state", None)
+    if native_state is not None:
+        native = native_state.as_dict()
+
     return RunMetrics(
         backend=obs.backend_name,
         wall_time_s=wall,
@@ -300,4 +332,5 @@ def collect_metrics(obs, backend) -> RunMetrics:
         estimated_speedup=max(estimated, 0.0),
         sim=sim,
         proc=proc,
+        native=native,
     )

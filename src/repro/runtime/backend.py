@@ -135,12 +135,20 @@ class RuntimeConfig:
     #: the coop backend honors it (it drives the policy, the lock grant
     #: order, and parallel-for worker counts).
     schedule_replay: object = None
+    #: The native compiled tier (:mod:`repro.compiler.native`): "off"
+    #: never lowers to C, "auto" lowers what it can and silently falls
+    #: back (a notice lands in ``--metrics``), "require" raises a
+    #: :class:`~repro.errors.TetraNativeError` when the tier cannot be
+    #: set up (no C toolchain, failed build, incompatible run config).
+    native: str = "off"
 
     def __post_init__(self) -> None:
         if self.chunking not in ("block", "cyclic", "dynamic"):
             raise ValueError(
                 "chunking must be 'block', 'cyclic', or 'dynamic'"
             )
+        if self.native not in ("auto", "off", "require"):
+            raise ValueError("native must be 'auto', 'off', or 'require'")
         if self.chaos_seed is not None and self.fault_plan is None:
             from ..resilience.faults import FaultPlan
 
@@ -181,6 +189,10 @@ class Backend:
     #: and the compiled fast path consult it before spawning threads.  A
     #: False return means "run the loop the normal in-process way".
     try_parallel_for = None
+    #: The run's :class:`~repro.compiler.native.NativeState`, installed by
+    #: the interpreter when the native tier is requested; ``--metrics``
+    #: reads it off the backend like the proc pool's fallback list.
+    native_state = None
     name = "abstract"
 
     def __init__(self, config: RuntimeConfig | None = None):

@@ -196,10 +196,12 @@ def _worker_main(worker_index: int, task_q, result_q, source_text: str,
         api_mod._cache_lock = threading.Lock()
         api_mod._inflight = {}
         # Offload only happens on uninstrumented runs, so ask for the same
-        # (races=False, obs=False) cache variant the parent compiled —
-        # under fork the inherited entry makes this bootstrap free.
+        # (races=False, obs=False, native=False) cache variant the parent
+        # compiled — under fork the inherited entry makes this bootstrap
+        # free.  Workers never run native kernels themselves (a loop that
+        # lowered natively is claimed before proc offload is consulted).
         program, source = api_mod.cached_program(source_text, prog_name,
-                                                 flags=(False, False))
+                                                 flags=(False, False, False))
         config = RuntimeConfig(recursion_limit=recursion_limit)
         io = CapturingIO()
         interp = Interpreter(program, source,

@@ -73,6 +73,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         cancel=token,
         chaos_seed=args.chaos,
         schedule_recorder=recorder,
+        native=args.native,
     )
     interp = None
     code = 0
@@ -84,7 +85,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             source.text, args.file, cache=not args.no_cache,
             flags=(bool(args.detect_races),
                    bool(args.trace is not None or args.metrics
-                        or args.profile)),
+                        or args.profile),
+                   args.native != "off"),
         )
         backend = BACKEND_FACTORIES[args.backend](config=config)
         interp = Interpreter(program, source, backend=backend,
@@ -453,6 +455,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the hottest source lines by charged cost "
                           "units (statement counts on non-accounting "
                           "backends)")
+    run.add_argument("--native", nargs="?", const="auto", default="off",
+                     choices=["auto", "off", "require"], metavar="MODE",
+                     help="run numeric kernels as compiled C (the native "
+                          "tier): 'auto' (the bare flag) lowers what it "
+                          "can and falls back silently, 'require' fails "
+                          "if the tier cannot be set up; fallback "
+                          "reasons appear under --metrics")
     run.add_argument("--step-limit", type=int, default=0, metavar="N",
                      help="abort after N interpreted statements (exit 4)")
     run.add_argument("--time-limit", type=float, default=0.0, metavar="T",
@@ -661,6 +670,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `--native` takes an optional MODE, so bare `--native <file>` would
+    # greedily (mis)consume the program path; pin the bare form to =auto
+    # unless the next token really is a mode.
+    argv = [
+        "--native=auto"
+        if arg == "--native" and (
+            i + 1 >= len(argv)
+            or argv[i + 1] not in ("auto", "off", "require"))
+        else arg
+        for i, arg in enumerate(argv)
+    ]
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -8,12 +8,15 @@ the lexer/parser/checker along the way (every generated program must
 compile cleanly — a checker rejection is a generator bug and fails loudly).
 """
 
+import importlib.util
 import textwrap
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.api import run_source
 from repro.compiler import run_compiled
+from repro.compiler.native import find_compiler
 from repro.errors import TetraError
 
 VARS = ["a", "b", "c"]
@@ -202,3 +205,86 @@ class TestDifferentialFuzz:
         original = run_source(text, backend="sequential").output
         reformatted = run_source(formatted, backend="sequential").output
         assert original == reformatted, formatted
+
+
+# ----------------------------------------------------------------------
+# Native-tier fuzzing: the C lowering vs. the tree walker
+# ----------------------------------------------------------------------
+@st.composite
+def native_statements(draw, depth=0):
+    """Like :func:`statements`, but growth-bounded: native kernels do
+    64-bit wraparound arithmetic (a documented lowering deviation), so
+    the generator must keep every intermediate inside int64 — additive
+    augmented assignments only, and products only of small leaves."""
+    kind = draw(st.sampled_from(
+        ["assign", "aug", "if", "for"]
+        if depth < 2 else ["assign", "aug"]
+    ))
+    if kind == "assign":
+        var = draw(st.sampled_from(VARS))
+        return [f"{var} = {draw(int_exprs())}"]
+    if kind == "aug":
+        var = draw(st.sampled_from(VARS))
+        op = draw(st.sampled_from(["+", "-"]))
+        return [f"{var} {op}= {draw(st.integers(1, 9))}"]
+    if kind == "if":
+        cond = draw(conditions())
+        then = draw(native_blocks(depth + 1))
+        orelse = draw(native_blocks(depth + 1))
+        lines = [f"if {cond}:"] + [f"    {s}" for s in then]
+        lines += ["else:"] + [f"    {s}" for s in orelse]
+        return lines
+    var = draw(st.sampled_from(["i", "j"]))
+    stop = draw(st.integers(1, 4))
+    body = draw(native_blocks(depth + 1))
+    return [f"for {var} in [1 ... {stop}]:"] + [f"    {s}" for s in body]
+
+
+@st.composite
+def native_blocks(draw, depth=0):
+    groups = draw(st.lists(native_statements(depth=depth),
+                           min_size=1, max_size=3))
+    return [line for group in groups for line in group]
+
+
+@st.composite
+def native_function_programs(draw):
+    """A numeric function (the native tier's lowering unit) plus a main
+    that exercises it from several call sites."""
+    body = draw(native_blocks())
+    ret = draw(st.sampled_from(
+        ["a + b + c", "a - c", "a * 2 + b", "c % 7 + a"]))
+    fn = ["def kernel(a int, b int, c int) int:"]
+    fn += [f"    {line}" for line in body]
+    fn.append(f"    return {ret}")
+    calls = draw(st.lists(
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20),
+                  st.integers(-20, 20)),
+        min_size=1, max_size=4))
+    main = ["def main():"]
+    main += [f"    print(kernel({a}, {b}, {c}))" for a, b, c in calls]
+    return "\n".join(fn) + "\n\n" + "\n".join(main) + "\n"
+
+
+@pytest.mark.skipif(
+    find_compiler() is None
+    or importlib.util.find_spec("cffi") is None,
+    reason="no C toolchain (compiler + cffi) on this machine")
+class TestNativeFuzz:
+    @given(native_function_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_native_functions_match_tree_walker(self, text):
+        walker = run_source(text, native="off").output
+        compiled = run_source(text, native="require").output
+        assert walker == compiled, text
+
+    @given(parallel_reduction_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_native_parallel_reductions_match_walker(self, case):
+        text, workers = case
+        from repro.runtime import RuntimeConfig
+
+        config = RuntimeConfig(num_workers=min(workers, 4))
+        walker = run_source(text, config=config, native="off").output
+        compiled = run_source(text, config=config, native="require").output
+        assert walker == compiled, text
